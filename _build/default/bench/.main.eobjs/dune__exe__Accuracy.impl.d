@@ -1,0 +1,1 @@
+bench/accuracy.ml: Constant Costs Demo Disco_algebra Disco_catalog Disco_common Disco_core Disco_exec Disco_storage Disco_wrapper Estimator Fmt Generic List Plan Pred Registry Run Util Wrapper

@@ -1,0 +1,1 @@
+bench/adtbench.ml: Buffer Demo Disco_algebra Disco_exec Disco_mediator Disco_storage Disco_wrapper Fmt List Mediator Run Util Wrapper

@@ -1,0 +1,1 @@
+bench/fig12.ml: Constant Disco_algebra Disco_catalog Disco_common Disco_core Disco_exec Disco_oo7 Disco_wrapper Estimator Fmt Generic List Oo7 Plan Pred Registry Run Util Wrapper

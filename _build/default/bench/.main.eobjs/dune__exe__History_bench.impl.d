@@ -1,0 +1,1 @@
+bench/history_bench.ml: Demo Disco_core Disco_costlang Disco_mediator Disco_wrapper Fmt History List Mediator Option Util

@@ -1,0 +1,1 @@
+bench/main.ml: Accuracy Adtbench Array Disco_oo7 Fig12 Fmt History_bench List Micro Oo7queries Overhead Planquality Prune Scopes String Sys

@@ -1,0 +1,1 @@
+bench/oo7queries.ml: Disco_catalog Disco_core Disco_exec Disco_oo7 Disco_wrapper Estimator Fmt Generic List Oo7 Registry Run Util Wrapper

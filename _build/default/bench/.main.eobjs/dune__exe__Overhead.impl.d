@@ -1,0 +1,1 @@
+bench/overhead.ml: Demo Disco_core Disco_costlang Disco_mediator Disco_wrapper Estimator Fmt List Mediator Registry Unix Util

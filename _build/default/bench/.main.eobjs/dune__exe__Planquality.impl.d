@@ -1,0 +1,1 @@
+bench/planquality.ml: Buffer Demo Disco_exec Disco_mediator Disco_sql Disco_storage Disco_wrapper Float List Mediator Optimizer Run Util Wrapper

@@ -1,0 +1,1 @@
+bench/prune.ml: Demo Disco_mediator Disco_sql Disco_wrapper Float Fmt List Mediator Optimizer Util

@@ -1,0 +1,120 @@
+(* Table T1 — per-operator estimation accuracy across the heterogeneous
+   federation, generic-only model vs blended model (generic + wrapper rules).
+   For each operation we execute it on the simulated engine (measured) and
+   compare both estimates. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+
+type op = {
+  label : string;
+  source : string;
+  plan : Plan.t;
+  submit : bool;  (* measure/estimate including the communication step *)
+}
+
+let scan source collection binding =
+  Plan.Scan { Plan.source; collection; binding }
+
+let workload : op list =
+  [ { label = "relstore: scan Employee";
+      source = "relstore";
+      plan = scan "relstore" "Employee" "e";
+      submit = false };
+    { label = "relstore: select salary = c (indexed)";
+      source = "relstore";
+      plan =
+        Plan.Select
+          (scan "relstore" "Employee" "e", Pred.Cmp ("e.salary", Pred.Eq, Constant.Int 15000));
+      submit = false };
+    { label = "relstore: select age < 30 (no index)";
+      source = "relstore";
+      plan =
+        Plan.Select
+          (scan "relstore" "Employee" "e", Pred.Cmp ("e.age", Pred.Lt, Constant.Int 30));
+      submit = false };
+    { label = "objstore: scan Project";
+      source = "objstore";
+      plan = scan "objstore" "Project" "p";
+      submit = false };
+    { label = "objstore: select id <= 400 (index, Yao)";
+      source = "objstore";
+      plan =
+        Plan.Select
+          (scan "objstore" "Project" "p", Pred.Cmp ("p.id", Pred.Le, Constant.Int 400));
+      submit = false };
+    { label = "objstore: join Task x Project (index join)";
+      source = "objstore";
+      plan =
+        Plan.Join
+          ( Plan.Select
+              (scan "objstore" "Task" "t", Pred.Cmp ("t.hours", Pred.Gt, Constant.Int 380)),
+            scan "objstore" "Project" "p",
+            Pred.Attr_cmp ("t.project_id", Pred.Eq, "p.id") );
+      submit = false };
+    { label = "files: scan Document (stats only)";
+      source = "files";
+      plan = scan "files" "Document" "d";
+      submit = false };
+    { label = "files: select bytes > 90000";
+      source = "files";
+      plan =
+        Plan.Select
+          (scan "files" "Document" "d", Pred.Cmp ("d.bytes", Pred.Gt, Constant.Int 90000));
+      submit = false };
+    { label = "web: ship Listing over the WAN";
+      source = "web";
+      plan = scan "web" "Listing" "l";
+      submit = true } ]
+
+let registry_of wrappers =
+  let catalog = Disco_catalog.Catalog.create () in
+  let registry = Registry.create catalog in
+  Generic.register registry;
+  List.iter
+    (fun w -> ignore (Registry.register_source_decl registry (Wrapper.registration_decl w)))
+    wrappers;
+  registry
+
+let measure_op (wrappers : Wrapper.t list) (op : op) =
+  let w = List.find (fun w -> w.Wrapper.name = op.source) wrappers in
+  Disco_storage.Buffer.clear w.Wrapper.buffer;
+  let _, v = Wrapper.execute w op.plan in
+  if op.submit then
+    let net = w.Wrapper.network in
+    v.Run.total_time +. net.Costs.msg_ms +. (net.Costs.byte_ms *. v.Run.size)
+  else v.Run.total_time
+
+let estimate_op registry (op : op) =
+  if op.submit then
+    Estimator.total_time (Estimator.estimate registry (Plan.Submit (op.source, op.plan)))
+  else Estimator.total_time (Estimator.estimate ~source:op.source registry op.plan)
+
+let print () =
+  Util.section
+    "T1 — estimation accuracy per operator: generic-only vs blended model (ms)";
+  let wrappers = Demo.make () in
+  let blended = registry_of wrappers in
+  let generic = registry_of (List.map Wrapper.without_rules wrappers) in
+  let rows, errs =
+    List.fold_left
+      (fun (rows, errs) op ->
+        let real = measure_op wrappers op in
+        let eg = estimate_op generic op in
+        let eb = estimate_op blended op in
+        let err_g = Util.rel_err ~est:eg ~real and err_b = Util.rel_err ~est:eb ~real in
+        ( rows
+          @ [ [ op.label; Util.f1 real; Util.f1 eg; Util.f1 eb; Util.pct err_g;
+                Util.pct err_b ] ],
+          (err_g, err_b) :: errs ))
+      ([], []) workload
+  in
+  Util.table
+    [ "operation"; "measured"; "est generic"; "est blended"; "err gen"; "err blend" ]
+    rows;
+  Fmt.pr "  mean error: generic %s, blended %s@."
+    (Util.pct (Util.mean (List.map fst errs)))
+    (Util.pct (Util.mean (List.map snd errs)))

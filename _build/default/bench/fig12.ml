@@ -1,0 +1,85 @@
+(* Figure 12 of the paper: index-scan response time on the OO7 AtomicParts
+   collection (70000 objects x 56 B, 1000 pages, unclustered index on id,
+   uniform ids) as the selectivity sweeps 0 -> 0.7.
+
+   Three series, as in the paper:
+   - Experiment:   simulated execution on the paged store (distinct page
+                   fetches through the buffer pool => Yao-shaped IO)
+   - Calibration:  the generic (calibrated) model's linear index formula
+   - Yao formula:  the wrapper-exported rule of Fig 13
+
+   Times are reported in seconds to match the paper's axis. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+open Disco_oo7
+
+let selectivities = [ 0.01; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ]
+
+type point = {
+  sel : float;
+  experiment : float;   (* seconds *)
+  calibration : float;
+  yao : float;
+}
+
+let registry_for source =
+  let catalog = Disco_catalog.Catalog.create () in
+  let registry = Registry.create catalog in
+  Generic.register registry;
+  ignore (Registry.register_source_decl registry (Wrapper.registration_decl source));
+  registry
+
+let plan_for k =
+  Plan.Select
+    ( Plan.Scan { Plan.source = "oo7"; collection = "AtomicPart"; binding = "a" },
+      Pred.Cmp ("a.id", Pred.Le, Constant.Int k) )
+
+let run ?(config = Oo7.paper_config) () : point list =
+  let with_rules = Oo7.make_source ~config ~with_rules:true () in
+  let without_rules = Oo7.make_source ~config ~with_rules:false () in
+  let reg_yao = registry_for with_rules in
+  let reg_cal = registry_for without_rules in
+  let n = config.Oo7.atomic_parts in
+  List.map
+    (fun sel ->
+      let k = int_of_float (float_of_int n *. sel) in
+      let plan = plan_for k in
+      Oo7.cold_cache with_rules;
+      let _, measured = Wrapper.execute with_rules plan in
+      let est registry =
+        Estimator.total_time (Estimator.estimate ~source:"oo7" registry plan) /. 1000.
+      in
+      { sel;
+        experiment = measured.Run.total_time /. 1000.;
+        calibration = est reg_cal;
+        yao = est reg_yao })
+    selectivities
+
+let print ?config () =
+  Util.section
+    "Figure 12 — OO7 index scan: response time vs selectivity (seconds)";
+  let points = run ?config () in
+  Util.table
+    [ "selectivity"; "Experiment"; "Calibration"; "Yao formula"; "cal.err"; "yao.err" ]
+    (List.map
+       (fun p ->
+         [ Util.f2 p.sel;
+           Util.f1 p.experiment;
+           Util.f1 p.calibration;
+           Util.f1 p.yao;
+           Util.pct (Util.rel_err ~est:p.calibration ~real:p.experiment);
+           Util.pct (Util.rel_err ~est:p.yao ~real:p.experiment) ])
+       points);
+  let cal_errs =
+    List.map (fun p -> Util.rel_err ~est:p.calibration ~real:p.experiment) points
+  in
+  let yao_errs = List.map (fun p -> Util.rel_err ~est:p.yao ~real:p.experiment) points in
+  Fmt.pr "  mean error: calibration %s, Yao formula %s@." (Util.pct (Util.mean cal_errs))
+    (Util.pct (Util.mean yao_errs));
+  Fmt.pr "  max error:  calibration %s, Yao formula %s@."
+    (Util.pct (Util.maximum cal_errs))
+    (Util.pct (Util.maximum yao_errs))

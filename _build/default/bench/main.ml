@@ -1,0 +1,48 @@
+(* The benchmark harness: regenerates every figure and table of the
+   reproduction (see DESIGN.md §4 for the experiment index).
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig12 t2  # a subset
+     dune exec bench/main.exe -- --small   # reduced data sizes (CI-friendly)
+
+   Experiments:
+     fig12  — paper Figure 12: OO7 index scan, Experiment/Calibration/Yao
+     t1     — estimation accuracy per operator, generic vs blended
+     t2     — plan quality: executed time of chosen plans vs oracle
+     t3     — estimation overhead vs number of registered rules
+     t4     — historical-cost extensions (exact caching, adjustment)
+     t5     — branch-and-bound early abort during plan selection
+     t6     — scope-hierarchy ablation
+     t7     — ADT operation costs: push vs defer an expensive predicate
+     t8     — OO7 query workload accuracy (measured vs calibrated vs rules)
+     micro  — Bechamel micro-benchmarks of the mediator kernels *)
+
+let all = [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "micro" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let small = List.mem "--small" args in
+  let wanted = List.filter (fun a -> a <> "--small") args in
+  let wanted = if wanted = [] then all else wanted in
+  let fig12_config =
+    if small then
+      Some { Disco_oo7.Oo7.paper_config with Disco_oo7.Oo7.atomic_parts = 7_000 }
+    else None
+  in
+  List.iter
+    (fun name ->
+      match name with
+      | "fig12" -> Fig12.print ?config:fig12_config ()
+      | "t1" -> Accuracy.print ()
+      | "t2" -> Planquality.print ()
+      | "t3" -> Overhead.print ()
+      | "t4" -> History_bench.print ()
+      | "t5" -> Prune.print ()
+      | "t6" -> Scopes.print ()
+      | "t7" -> Adtbench.print ()
+      | "t8" -> Oo7queries.print ?config:fig12_config ()
+      | "micro" -> Micro.print ()
+      | other ->
+        Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
+        exit 1)
+    wanted

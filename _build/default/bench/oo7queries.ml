@@ -1,0 +1,52 @@
+(* Table T8 — estimation accuracy over the OO7 query workload (the paper's §5
+   uses "queries ... from the 007 benchmark"): measured execution on the
+   simulated ObjectStore vs the calibrated generic estimate vs the
+   wrapper-rule (Yao) estimate, for each query. This widens Figure 12 from a
+   single operator sweep to the whole workload. *)
+
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+open Disco_oo7
+
+let registry_for source =
+  let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+  Generic.register registry;
+  ignore (Registry.register_source_decl registry (Wrapper.registration_decl source));
+  registry
+
+let print ?(config = Oo7.paper_config) () =
+  Util.section
+    "T8 — OO7 query workload: measured vs calibrated vs wrapper-rule estimates (s)";
+  let with_rules = Oo7.make_source ~config ~with_rules:true () in
+  let reg_yao = registry_for with_rules in
+  let reg_cal = registry_for (Wrapper.without_rules with_rules) in
+  let rows, errs =
+    List.fold_left
+      (fun (rows, errs) (label, plan) ->
+        Oo7.cold_cache with_rules;
+        let _, v = Wrapper.execute with_rules plan in
+        let measured = v.Run.total_time in
+        let est registry =
+          Estimator.total_time (Estimator.estimate ~source:"oo7" registry plan)
+        in
+        let cal = est reg_cal and yao = est reg_yao in
+        let e_cal = Util.rel_err ~est:cal ~real:measured in
+        let e_yao = Util.rel_err ~est:yao ~real:measured in
+        ( rows
+          @ [ [ label;
+                Util.f1 (measured /. 1000.);
+                Util.f1 (cal /. 1000.);
+                Util.f1 (yao /. 1000.);
+                Util.pct e_cal;
+                Util.pct e_yao ] ],
+          (e_cal, e_yao) :: errs ))
+      ([], [])
+      (Oo7.queries config)
+  in
+  Util.table
+    [ "query"; "measured"; "calibrated"; "wrapper rules"; "cal.err"; "rule.err" ]
+    rows;
+  Fmt.pr "  mean error: calibrated %s, wrapper rules %s@."
+    (Util.pct (Util.mean (List.map fst errs)))
+    (Util.pct (Util.mean (List.map snd errs)))

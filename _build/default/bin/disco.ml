@@ -1,0 +1,253 @@
+(* The disco command-line interface: query and inspect the demo federation.
+
+     dune exec bin/disco.exe -- query "select e.name from Employee e limit 5"
+     dune exec bin/disco.exe -- explain "select * from Department d"
+     dune exec bin/disco.exe -- registration web
+     dune exec bin/disco.exe -- sources
+     dune exec bin/disco.exe -- fig12 --parts 7000 *)
+
+open Cmdliner
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+open Disco_mediator
+
+(* --- shared options ---------------------------------------------------------- *)
+
+let small_arg =
+  let doc = "Use the small demo data set (fast)." in
+  Arg.(value & flag & info [ "small" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for the deterministic data generator." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let history_arg =
+  let doc = "Historical-cost mode: off, exact or adjust." in
+  Arg.(value & opt string "off" & info [ "history" ] ~doc)
+
+let no_rules_arg =
+  let doc = "Register wrappers without their cost rules (generic model only)." in
+  Arg.(value & flag & info [ "no-rules" ] ~doc)
+
+let history_mode = function
+  | "off" -> History.Off
+  | "exact" -> History.Exact
+  | "adjust" -> History.Adjust { smoothing = 0.6 }
+  | other -> Fmt.failwith "unknown history mode %S (off|exact|adjust)" other
+
+let objective_arg =
+  let doc = "Optimization objective: total (complete answer) or first (first object)." in
+  Arg.(value & opt string "total" & info [ "objective" ] ~doc)
+
+let objective_of = function
+  | "total" -> Optimizer.Total_time
+  | "first" -> Optimizer.First_tuple
+  | other -> Fmt.failwith "unknown objective %S (total|first)" other
+
+let make_mediator ~small ~seed ~history ~no_rules =
+  let sizes = if small then Demo.small_sizes else Demo.default_sizes in
+  let wrappers = Demo.make ~seed ~sizes () in
+  let wrappers =
+    if no_rules then List.map Wrapper.without_rules wrappers else wrappers
+  in
+  let med = Mediator.create ~history_mode:(history_mode history) () in
+  List.iter (Mediator.register med) wrappers;
+  (med, wrappers)
+
+let handle f =
+  match Disco_common.Err.guard f with
+  | Ok () -> 0
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+
+(* --- query -------------------------------------------------------------------- *)
+
+let query_cmd =
+  let sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+  in
+  let run small seed history no_rules objective sql =
+    handle (fun () ->
+        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        let a = Mediator.run_query ~objective:(objective_of objective) med sql in
+        List.iter (fun row -> Fmt.pr "%a@." Tuple.pp_with_names row) a.Mediator.rows;
+        Fmt.pr "-- %d rows, measured %a@."
+          (List.length a.Mediator.rows)
+          Run.pp_vector a.Mediator.measured;
+        Fmt.pr "-- estimated TotalTime %.1f ms@."
+          (Estimator.total_time a.Mediator.estimate))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a query against the demo federation.")
+    Term.(
+      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ objective_arg
+      $ sql)
+
+(* --- explain ------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+  in
+  let run small seed history no_rules sql =
+    handle (fun () ->
+        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        print_string (Mediator.explain med sql))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the chosen plan with per-node cost estimates and the scope of \
+          the rule that produced each one.")
+    Term.(const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ sql)
+
+(* --- analyze ------------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let sql =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+  in
+  let run small seed history no_rules sql =
+    handle (fun () ->
+        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        print_string (Mediator.analyze med sql))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
+    Term.(const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ sql)
+
+(* --- registration ----------------------------------------------------------------- *)
+
+let registration_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Wrapper name (relstore, objstore, files, web).")
+  in
+  let run small seed source =
+    handle (fun () ->
+        let wrappers = Demo.make ~seed ~sizes:(if small then Demo.small_sizes else Demo.default_sizes) () in
+        match List.find_opt (fun w -> w.Wrapper.name = source) wrappers with
+        | Some w -> print_endline (Wrapper.registration_text w)
+        | None -> Fmt.failwith "unknown source %S" source)
+  in
+  Cmd.v
+    (Cmd.info "registration"
+       ~doc:
+         "Print the cost-communication-language text a wrapper exports at \
+          registration (schemas, statistics, cost rules).")
+    Term.(const run $ small_arg $ seed_arg $ source)
+
+(* --- check ----------------------------------------------------------------------- *)
+
+let check_cmd =
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Wrapper name (relstore, objstore, files, web).")
+  in
+  let run small seed source =
+    handle (fun () ->
+        let wrappers =
+          Demo.make ~seed ~sizes:(if small then Demo.small_sizes else Demo.default_sizes) ()
+        in
+        match List.find_opt (fun w -> w.Wrapper.name = source) wrappers with
+        | None -> Fmt.failwith "unknown source %S" source
+        | Some w ->
+          let issues =
+            Disco_costlang.Check.check_source (Wrapper.registration_decl w)
+          in
+          if issues = [] then Fmt.pr "%s: export is clean@." source
+          else List.iter (Fmt.pr "%a@." Disco_costlang.Check.pp_issue) issues)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically check a wrapper's registration export (rules, interfaces).")
+    Term.(const run $ small_arg $ seed_arg $ source)
+
+(* --- sources --------------------------------------------------------------------- *)
+
+let sources_cmd =
+  let run small seed =
+    handle (fun () ->
+        let med, wrappers = make_mediator ~small ~seed ~history:"off" ~no_rules:false in
+        List.iter
+          (fun w ->
+            Fmt.pr "source %s:@." w.Wrapper.name;
+            List.iter
+              (fun name ->
+                let e =
+                  Disco_catalog.Catalog.extent_stats (Mediator.catalog med)
+                    ~source:w.Wrapper.name name
+                in
+                Fmt.pr "  %s %a@." name Disco_catalog.Stats.pp_extent e)
+              (Wrapper.table_names w);
+            Fmt.pr "  registered rules: %d@."
+              (Registry.rule_count (Mediator.registry med) ~source:w.Wrapper.name))
+          wrappers)
+  in
+  Cmd.v
+    (Cmd.info "sources" ~doc:"List registered sources, collections and rule counts.")
+    Term.(const run $ small_arg $ seed_arg)
+
+(* --- fig12 ----------------------------------------------------------------------- *)
+
+let fig12_cmd =
+  let parts =
+    let doc = "Number of AtomicParts (the paper uses 70000)." in
+    Arg.(value & opt int 70_000 & info [ "parts" ] ~doc)
+  in
+  let run parts =
+    handle (fun () ->
+        let config = { Disco_oo7.Oo7.paper_config with Disco_oo7.Oo7.atomic_parts = parts } in
+        let source = Disco_oo7.Oo7.make_source ~config ~with_rules:true () in
+        let registry_of src =
+          let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+          Generic.register registry;
+          ignore (Registry.register_source_decl registry (Wrapper.registration_decl src));
+          registry
+        in
+        let reg_yao = registry_of source in
+        let reg_cal = registry_of (Wrapper.without_rules source) in
+        Fmt.pr "sel   measured(s)  calibrated(s)  yao(s)@.";
+        List.iter
+          (fun sel ->
+            let k = int_of_float (float_of_int parts *. sel) in
+            let plan =
+              Disco_algebra.Plan.Select
+                ( Disco_algebra.Plan.Scan
+                    { Disco_algebra.Plan.source = "oo7";
+                      collection = "AtomicPart";
+                      binding = "a" },
+                  Disco_algebra.Pred.Cmp
+                    ("a.id", Disco_algebra.Pred.Le, Disco_common.Constant.Int k) )
+            in
+            Disco_oo7.Oo7.cold_cache source;
+            let _, v = Wrapper.execute source plan in
+            let est r =
+              Estimator.total_time (Estimator.estimate ~source:"oo7" r plan) /. 1000.
+            in
+            Fmt.pr "%.2f  %11.1f  %13.1f  %6.1f@." sel
+              (v.Run.total_time /. 1000.) (est reg_cal) (est reg_yao))
+          [ 0.01; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7 ])
+  in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"Reproduce the paper's Figure 12 index-scan experiment.")
+    Term.(const run $ parts)
+
+let () =
+  let info =
+    Cmd.info "disco" ~version:"1.0.0"
+      ~doc:
+        "A mediator over heterogeneous data sources with an extensible, \
+         blended cost model (reproduction of Naacke, Gardarin and Tomasic)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ query_cmd; explain_cmd; analyze_cmd; registration_cmd; check_cmd; sources_cmd; fig12_cmd ]))

@@ -1,0 +1,1 @@
+examples/extensions.ml: Ast Demo Disco_algebra Disco_core Disco_costlang Disco_mediator Disco_wrapper Estimator Fmt List Mediator Optimizer Option Registry String Wrapper

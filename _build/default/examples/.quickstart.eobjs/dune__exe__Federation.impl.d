@@ -1,0 +1,1 @@
+examples/federation.ml: Demo Disco_algebra Disco_core Disco_costlang Disco_exec Disco_mediator Disco_wrapper Estimator Fmt List Mediator Scope String Wrapper

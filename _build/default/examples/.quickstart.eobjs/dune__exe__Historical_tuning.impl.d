@@ -1,0 +1,1 @@
+examples/historical_tuning.ml: Demo Disco_core Disco_costlang Disco_mediator Disco_wrapper Float Fmt History List Mediator Option Registry String

@@ -1,0 +1,1 @@
+examples/historical_tuning.mli:

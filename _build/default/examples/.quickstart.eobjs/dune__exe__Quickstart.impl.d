@@ -1,0 +1,1 @@
+examples/quickstart.ml: Demo Disco_algebra Disco_exec Disco_mediator Disco_wrapper Fmt List Mediator Run Tuple

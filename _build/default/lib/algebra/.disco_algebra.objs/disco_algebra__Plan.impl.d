@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Fmt List Pred String

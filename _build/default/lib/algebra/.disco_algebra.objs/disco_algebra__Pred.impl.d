@@ -1,0 +1,1 @@
+lib/algebra/pred.ml: Cmp Constant Disco_common Fmt List String

@@ -1,0 +1,1 @@
+lib/algebra/pred.mli: Cmp Constant Disco_common Format

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Disco_common Err Fmt List Schema Stats String

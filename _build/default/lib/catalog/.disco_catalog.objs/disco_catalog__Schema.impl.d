@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Fmt List Option String

@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Constant Disco_common Fmt List Set

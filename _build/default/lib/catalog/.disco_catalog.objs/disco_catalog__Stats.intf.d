@@ -1,0 +1,1 @@
+lib/catalog/stats.mli: Constant Disco_common Format

@@ -1,0 +1,1 @@
+lib/common/cmp.ml: Constant Fmt

@@ -1,0 +1,1 @@
+lib/common/cmp.mli: Constant Format

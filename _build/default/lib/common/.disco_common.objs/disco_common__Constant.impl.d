@@ -1,0 +1,1 @@
+lib/common/constant.ml: Bool Char Float Fmt Int String

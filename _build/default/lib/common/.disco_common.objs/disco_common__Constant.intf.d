@@ -1,0 +1,1 @@
+lib/common/constant.mli: Format

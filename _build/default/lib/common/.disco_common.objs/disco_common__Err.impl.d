@@ -1,0 +1,1 @@
+lib/common/err.ml: Fmt Printexc

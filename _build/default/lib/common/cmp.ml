@@ -1,0 +1,25 @@
+(* Comparison operators shared by predicates (lib/algebra) and index search
+   (lib/storage). *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+let pp ppf = function
+  | Eq -> Fmt.string ppf "="
+  | Ne -> Fmt.string ppf "<>"
+  | Lt -> Fmt.string ppf "<"
+  | Le -> Fmt.string ppf "<="
+  | Gt -> Fmt.string ppf ">"
+  | Ge -> Fmt.string ppf ">="
+
+(* Apply to two constants. *)
+let eval op a b =
+  let c = Constant.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let flip = function Eq -> Eq | Ne -> Ne | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le

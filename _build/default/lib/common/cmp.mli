@@ -1,0 +1,12 @@
+(** Comparison operators, shared by predicates (lib/algebra) and index search
+    (lib/storage). *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val pp : Format.formatter -> t -> unit
+
+val eval : t -> Constant.t -> Constant.t -> bool
+(** [eval op a b] applies [op] to two constants using {!Constant.compare}. *)
+
+val flip : t -> t
+(** [flip op] is the operator [op'] such that [a op b <=> b op' a]. *)

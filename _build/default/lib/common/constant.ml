@@ -1,0 +1,90 @@
+(* Polymorphic constant values, the [Constant] object of the paper's
+   cardinality interface (Fig 4). Used for attribute values, predicate
+   constants, and Min/Max statistics. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+
+let to_string c = Fmt.str "%a" pp c
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | String a, String b -> String.equal a b
+  | _ -> false
+
+(* Rank used to obtain a total order across constructors. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | String _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Int a, Float b -> Float.compare (float_of_int a) b
+  | Float a, Int b -> Float.compare a (float_of_int b)
+  | String a, String b -> String.compare a b
+  | _ -> Int.compare (rank a) (rank b)
+
+let is_null = function Null -> true | _ -> false
+
+(* Numeric view: booleans count as 0/1, strings are not numeric. *)
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool true -> Some 1.
+  | Bool false -> Some 0.
+  | Null | String _ -> None
+
+let of_float f = Float f
+let of_int i = Int i
+let of_string s = String s
+
+(* Position of [v] within [min, max] as a fraction in [0, 1]; used for
+   range-predicate selectivity under the uniform-distribution assumption.
+   Strings interpolate on their first two characters, which is enough to
+   discriminate alphabetic ranges such as "Adiba".."Valduriez". *)
+let fraction ~min ~max v =
+  let clamp x = if x < 0. then 0. else if x > 1. then 1. else x in
+  let str_key s =
+    let byte i = if i < String.length s then float_of_int (Char.code s.[i]) else 0. in
+    (byte 0 *. 256.) +. byte 1
+  in
+  match to_float_opt min, to_float_opt max, to_float_opt v with
+  | Some lo, Some hi, Some x ->
+    if hi <= lo then Some 0.5 else Some (clamp ((x -. lo) /. (hi -. lo)))
+  | _ ->
+    (match min, max, v with
+     | String lo, String hi, String x ->
+       let lo = str_key lo and hi = str_key hi and x = str_key x in
+       if hi <= lo then Some 0.5 else Some (clamp ((x -. lo) /. (hi -. lo)))
+     | _ -> None)
+
+(* Approximate byte width of a constant when serialized; used to charge
+   communication costs. *)
+let byte_size = function
+  | Null -> 1
+  | Bool _ -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | String s -> String.length s

@@ -1,0 +1,25 @@
+(* Error values shared across the DISCO libraries. Each exception carries a
+   human-readable message; library boundaries expose [result]-returning
+   functions built on [guard]. *)
+
+exception Parse_error of { what : string; line : int; col : int; msg : string }
+exception Unknown_collection of string
+exception Unknown_attribute of { collection : string; attribute : string }
+exception Unknown_source of string
+exception Eval_error of string
+exception Plan_error of string
+
+let parse_error ~what ~line ~col msg = raise (Parse_error { what; line; col; msg })
+
+let to_string = function
+  | Parse_error { what; line; col; msg } ->
+    Fmt.str "parse error in %s at line %d, column %d: %s" what line col msg
+  | Unknown_collection c -> Fmt.str "unknown collection %S" c
+  | Unknown_attribute { collection; attribute } ->
+    Fmt.str "unknown attribute %S of collection %S" attribute collection
+  | Unknown_source s -> Fmt.str "unknown source %S" s
+  | Eval_error msg -> Fmt.str "cost evaluation error: %s" msg
+  | Plan_error msg -> Fmt.str "plan error: %s" msg
+  | exn -> Printexc.to_string exn
+
+let guard f = try Ok (f ()) with exn -> Error (to_string exn)

@@ -1,0 +1,26 @@
+(** Error values shared across the DISCO libraries. *)
+
+exception Parse_error of { what : string; line : int; col : int; msg : string }
+(** Raised by the cost-language and SQL parsers; [what] names the input
+    (e.g. a wrapper's rule text), positions are 1-based. *)
+
+exception Unknown_collection of string
+exception Unknown_attribute of { collection : string; attribute : string }
+exception Unknown_source of string
+
+exception Eval_error of string
+(** Raised during cost-formula evaluation (unbound names, non-numeric values,
+    division by zero, missing statistics...). *)
+
+exception Plan_error of string
+(** Raised for malformed or unresolvable query plans. *)
+
+val parse_error : what:string -> line:int -> col:int -> string -> 'a
+(** Raise {!Parse_error}. *)
+
+val to_string : exn -> string
+(** Human-readable rendering of the exceptions above (and a fallback for any
+    other exception). *)
+
+val guard : (unit -> 'a) -> ('a, string) result
+(** Run a function, turning exceptions into [Error (to_string exn)]. *)

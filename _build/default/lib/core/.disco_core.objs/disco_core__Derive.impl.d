@@ -1,0 +1,1 @@
+lib/core/derive.ml: Catalog Constant Disco_algebra Disco_catalog Disco_common Float Fmt List Option Plan Pred Schema Stats String

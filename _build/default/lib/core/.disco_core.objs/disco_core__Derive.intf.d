@@ -1,0 +1,1 @@
+lib/core/derive.mli: Catalog Constant Disco_algebra Disco_catalog Disco_common Format Plan Pred Stats

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Ast Derive Disco_algebra Disco_costlang Hashtbl Lazy Plan Registry Rule Scope Value

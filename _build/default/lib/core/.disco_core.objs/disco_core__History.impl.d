@@ -1,0 +1,1 @@
+lib/core/history.ml: Ast Disco_algebra Disco_catalog Disco_costlang List Plan Registry

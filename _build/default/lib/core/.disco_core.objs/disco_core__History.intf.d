@@ -1,0 +1,1 @@
+lib/core/history.mli: Ast Disco_algebra Disco_costlang Plan Registry

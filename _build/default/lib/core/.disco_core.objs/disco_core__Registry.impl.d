@@ -1,0 +1,1 @@
+lib/core/registry.ml: Ast Builtins Catalog Compile Derive Disco_algebra Disco_catalog Disco_common Disco_costlang Err Fmt Hashtbl List Option Parser Rule Schema Scope Stats String Value

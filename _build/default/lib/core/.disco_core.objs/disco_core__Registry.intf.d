@@ -1,0 +1,1 @@
+lib/core/registry.mli: Ast Catalog Compile Derive Disco_algebra Disco_catalog Disco_costlang Rule Scope Stats Value

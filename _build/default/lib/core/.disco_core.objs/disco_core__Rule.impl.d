@@ -1,0 +1,1 @@
+lib/core/rule.ml: Array Ast Compile Constant Disco_algebra Disco_common Disco_costlang Fmt List Option Plan Pp Pred Scope String

@@ -1,0 +1,1 @@
+lib/core/rule.mli: Ast Compile Constant Disco_algebra Disco_common Disco_costlang Format Plan Pred Scope

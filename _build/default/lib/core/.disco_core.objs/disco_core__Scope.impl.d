@@ -1,0 +1,1 @@
+lib/core/scope.ml: Fmt Int

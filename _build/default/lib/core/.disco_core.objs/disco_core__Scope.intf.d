@@ -1,0 +1,1 @@
+lib/core/scope.mli: Format

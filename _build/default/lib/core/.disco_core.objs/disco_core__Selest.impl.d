@@ -1,0 +1,1 @@
+lib/core/selest.ml: Constant Derive Disco_algebra Disco_common Float List Option Pred

@@ -1,0 +1,1 @@
+lib/core/selest.mli: Constant Derive Disco_algebra Disco_common Pred

@@ -1,0 +1,111 @@
+(* Attribute-level statistics of intermediate results.
+
+   The five cost variables of a node are rule-driven; attribute statistics
+   (Indexed, CountDistinct, Min, Max) of intermediate results are derived
+   structurally by the mediator so that formulas such as [C.id.Min] or the
+   context functions [sel]/[indexed] are meaningful on any operand. Scans
+   read the catalog; selections narrow distinct/min/max; every non-scan
+   operator clears [Indexed] (an operator's output is a stream, not an
+   indexed extent). *)
+
+open Disco_common
+open Disco_catalog
+open Disco_algebra
+
+type attr_stat = {
+  indexed : bool;
+  distinct : float;
+  min : Constant.t;
+  max : Constant.t;
+}
+
+(* Qualified attribute name -> statistics. *)
+type t = (string * attr_stat) list
+
+let default_stat =
+  { indexed = false; distinct = 10.; min = Constant.Null; max = Constant.Null }
+
+let find (t : t) qname = List.assoc_opt qname t
+
+(* Find by unqualified name when no qualified entry matches; supports rules
+   written with bare attribute names such as [id]. *)
+let find_loose (t : t) name =
+  match find t name with
+  | Some s -> Some s
+  | None ->
+    List.find_opt
+      (fun (q, _) ->
+        match Plan.split_attr q with
+        | Some (_, a) -> String.equal a name
+        | None -> String.equal q name)
+      t
+    |> Option.map snd
+
+let of_catalog_attr (st : Stats.attribute) =
+  { indexed = st.Stats.indexed;
+    distinct = float_of_int (max st.Stats.count_distinct 1);
+    min = st.Stats.min;
+    max = st.Stats.max }
+
+let clear_indexed (t : t) =
+  List.map (fun (n, s) -> (n, { s with indexed = false })) t
+
+(* Narrow the statistics of [t] by one atomic comparison. *)
+let narrow_cmp (t : t) attr (op : Pred.cmp) v =
+  let update s =
+    match op with
+    | Pred.Eq -> { s with distinct = 1.; min = v; max = v }
+    | Pred.Ne -> { s with distinct = Float.max 1. (s.distinct -. 1.) }
+    | Pred.Lt | Pred.Le ->
+      let frac =
+        Option.value ~default:0.5 (Constant.fraction ~min:s.min ~max:s.max v)
+      in
+      { s with distinct = Float.max 1. (s.distinct *. frac); max = v }
+    | Pred.Gt | Pred.Ge ->
+      let frac =
+        Option.value ~default:0.5 (Constant.fraction ~min:s.min ~max:s.max v)
+      in
+      { s with distinct = Float.max 1. (s.distinct *. (1. -. frac)); min = v }
+  in
+  List.map (fun (n, s) -> if String.equal n attr then (n, update s) else (n, s)) t
+
+let rec narrow_pred (t : t) (p : Pred.t) =
+  match p with
+  | Pred.Cmp (a, op, v) -> narrow_cmp t a op v
+  | Pred.And (p, q) -> narrow_pred (narrow_pred t p) q
+  | Pred.Or _ | Pred.Not _ | Pred.Attr_cmp _ | Pred.Apply _ | Pred.True -> t
+
+(* Derived statistics of one node given its children's. *)
+let of_node (catalog : Catalog.t) (node : Plan.t) (children : t list) : t =
+  let child i = try List.nth children i with Failure _ -> [] in
+  match node with
+  | Plan.Scan r ->
+    let entry = Catalog.find_collection catalog ~source:r.source r.collection in
+    List.map
+      (fun (a : Schema.attribute) ->
+        let st =
+          Catalog.attribute_stats catalog ~source:r.source ~collection:r.collection
+            a.Schema.attr_name
+        in
+        (r.binding ^ "." ^ a.Schema.attr_name, of_catalog_attr st))
+      entry.Catalog.schema.Schema.attributes
+  | Plan.Select (_, p) -> clear_indexed (narrow_pred (child 0) p)
+  | Plan.Project (_, attrs) ->
+    List.filter (fun (n, _) -> List.mem n attrs) (child 0)
+  | Plan.Sort _ | Plan.Dedup _ -> clear_indexed (child 0)
+  | Plan.Submit _ -> clear_indexed (child 0)
+  | Plan.Join (_, _, p) ->
+    let merged = child 0 @ child 1 in
+    clear_indexed (narrow_pred merged p)
+  | Plan.Union _ -> clear_indexed (child 0)
+  | Plan.Aggregate (_, a) ->
+    let groups = List.filter (fun (n, _) -> List.mem n a.Plan.group_by) (child 0) in
+    let outs = List.map (fun (_, _, o) -> (o, default_stat)) a.Plan.aggs in
+    clear_indexed groups @ outs
+
+let pp ppf (t : t) =
+  List.iter
+    (fun (n, s) ->
+      Fmt.pf ppf "%s{idx=%b dist=%.0f min=%a max=%a} " n s.indexed s.distinct
+        Constant.pp s.min Constant.pp s.max)
+    t

@@ -1,0 +1,49 @@
+(** Attribute-level statistics of intermediate results.
+
+    The five cost variables of a node are rule-driven; attribute statistics
+    (Indexed, CountDistinct, Min, Max) of intermediate results are derived
+    structurally by the mediator so that formulas such as [C.id.Min] and the
+    context functions [sel]/[indexed] are meaningful on any operand. Scans
+    read the catalog; selections narrow distinct/min/max; every non-scan
+    operator clears [Indexed] (an operator's output is a stream, not an
+    indexed extent) — projections excepted, since they are width-only. *)
+
+open Disco_common
+open Disco_catalog
+open Disco_algebra
+
+type attr_stat = {
+  indexed : bool;
+  distinct : float;
+  min : Constant.t;
+  max : Constant.t;
+}
+
+type t = (string * attr_stat) list
+(** Qualified attribute name -> statistics. *)
+
+val default_stat : attr_stat
+
+val find : t -> string -> attr_stat option
+(** Exact (qualified) lookup. *)
+
+val find_loose : t -> string -> attr_stat option
+(** Qualified lookup, falling back to matching the unqualified part; supports
+    rules written with bare attribute names such as [id]. *)
+
+val of_catalog_attr : Stats.attribute -> attr_stat
+
+val clear_indexed : t -> t
+
+val narrow_cmp : t -> string -> Pred.cmp -> Constant.t -> t
+(** Narrow by one atomic comparison: equality pins the value, ranges move the
+    bounds and scale the distinct count. *)
+
+val narrow_pred : t -> Pred.t -> t
+(** Narrow by all conjuncts of a predicate (disjunctions and negations are
+    left untouched). *)
+
+val of_node : Catalog.t -> Plan.t -> t list -> t
+(** Derived statistics of one node given its children's. *)
+
+val pp : Format.formatter -> t -> unit

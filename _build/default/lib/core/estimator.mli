@@ -1,0 +1,93 @@
+(** The cost evaluation algorithm (paper §4.2, Fig 11).
+
+    The paper describes a two-phase traversal: top-down association of cost
+    formulas with nodes (propagating the list of variables each child must
+    compute), then bottom-up evaluation. This implementation realizes the
+    same dataflow demand-driven: requesting a variable of a node selects the
+    most specific matching rules providing it, and evaluating their formulas
+    recursively demands exactly the referenced child variables. The two
+    optimizations of §4.2 fall out: only formulas computing required
+    variables are invoked, and a child whose variables are never referenced
+    (e.g. under a query-scope rule with constant formulas) is never visited.
+
+    Conflicts — several formulas for the same variable at the same matching
+    level — are resolved by evaluating all of them and keeping the lowest
+    value (§4.2 step 3). The branch-and-bound extension of §4.3.2 aborts
+    estimation as soon as any node's TotalTime exceeds the given bound. *)
+
+open Disco_algebra
+open Disco_costlang
+
+exception Aborted
+(** Raised when [abort_above] is exceeded (§4.3.2). *)
+
+type provenance = { rule_id : int; rule_scope : Scope.t; rule_source : string }
+(** Which rule supplied a computed variable (for explain output and the
+    scope-ablation benches). *)
+
+type ann = {
+  node : Plan.t;
+  source : string;  (** source whose rules govern this node *)
+  inputs : ann array;
+  stats : Derive.t Lazy.t;  (** derived attribute statistics *)
+  matched : (Rule.t * Rule.bindings) list Lazy.t;  (** most specific first *)
+  vars : (Ast.cost_var, float * provenance) Hashtbl.t;
+  insts : (int, inst) Hashtbl.t;
+  mutable in_progress : Ast.cost_var list;  (** cycle detection *)
+}
+(** A plan node annotated with its (incrementally computed) cost variables. *)
+
+(** Per-(node, rule) evaluation instance: body assignments are evaluated
+    sequentially and cached, so locals (Fig 13's [CountPage]) and earlier
+    results are visible to later formulas of the same body. *)
+and inst = {
+  rule : Rule.t;
+  bindings : Rule.bindings;
+  values : (string, Value.t) Hashtbl.t;
+  mutable next_assign : int;
+}
+
+type ctx = {
+  registry : Registry.t;
+  abort_above : float option;
+  evals : int ref;  (** number of formula evaluations performed *)
+}
+
+val make_ctx : ?abort_above:float -> ?evals:int ref -> Registry.t -> ctx
+
+val build : Registry.t -> source:string -> Plan.t -> ann
+(** Annotate a plan without computing anything; [source] is the rule context
+    of the root (nodes under [Submit] switch to the submitted source, scans
+    to their own). *)
+
+val require : ctx -> ann -> Ast.cost_var -> float
+(** Compute (and cache) one cost variable of a node.
+    @raise Aborted when the bound is exceeded
+    @raise Disco_common.Err.Eval_error on formula errors or circular
+    variable dependencies *)
+
+val estimate :
+  ?abort_above:float ->
+  ?evals:int ref ->
+  ?require_vars:Ast.cost_var list ->
+  ?source:string ->
+  Registry.t ->
+  Plan.t ->
+  ann
+(** Annotate and compute the [require_vars] (default: all five) at the root.
+    [source] defaults to the mediator; pass a wrapper name to estimate a
+    subplan as the wrapper executes it. *)
+
+val var : ann -> Ast.cost_var -> float option
+(** A computed variable, if it has been demanded. *)
+
+val provenance : ann -> Ast.cost_var -> provenance option
+
+val total_time : ann -> float
+(** @raise Disco_common.Err.Eval_error if TotalTime was not computed. *)
+
+val count_object : ann -> float
+
+val report : ann -> string
+(** Multi-line explain report: each node with its computed variables and the
+    scope of the rule that supplied them. *)

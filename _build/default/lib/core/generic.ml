@@ -1,0 +1,214 @@
+(* The mediator's generic cost model (paper §2.3), expressed in the cost
+   communication language itself and registered at Default scope. It covers
+   every operator and every cost variable, guaranteeing the estimator always
+   finds a formula (paper §4.2: "The mediator default cost model guarantees
+   that at least one formula is found for every variable for every node").
+
+   Alternative physical strategies (sequential vs index scan; nested-loop vs
+   sort-merge vs index join) are competing rules at the same matching level;
+   the estimator evaluates all of them and keeps the lowest value per
+   variable, as prescribed in §4.2 step 3. Inapplicable strategies guard
+   themselves with [if(...)] and yield [Huge].
+
+   The time coefficients form the calibration vector of the [DKS92]/[GST96]
+   approach: calibrating the generic model for a class of sources amounts to
+   re-registering this text with different coefficients. *)
+
+type calibration = {
+  io_ms : float;        (* read one page *)
+  output_ms : float;    (* produce one result object *)
+  eval_ms : float;      (* evaluate one predicate *)
+  startup_ms : float;   (* operator start-up overhead *)
+  msg_ms : float;       (* one wrapper message round-trip *)
+  byte_ms : float;      (* ship one byte between wrapper and mediator *)
+  page_size : float;    (* bytes per page *)
+  probe_ms : float;     (* one index probe *)
+  sort_ms : float;      (* per-comparison factor of n log2 n sorting *)
+}
+
+(* Defaults follow the constants measured on ObjectStore in the paper's §5:
+   IO = 0.025 s per page and Output = 0.009 s per object. The communication
+   constants are deliberately conservative (a slow shared LAN): sources with
+   faster links are expected to export their own submit rules, exactly like
+   slower-than-assumed sources (the web wrapper) do. *)
+let default_calibration =
+  { io_ms = 25.;
+    output_ms = 9.;
+    eval_ms = 0.4;
+    startup_ms = 120.;
+    msg_ms = 200.;
+    byte_ms = 0.05;
+    page_size = 4096.;
+    probe_ms = 12.;
+    sort_ms = 0.02 }
+
+let text ?(calibration = default_calibration) () =
+  let c = calibration in
+  Fmt.str
+    {|
+source default {
+  let IO = %g;
+  let Output = %g;
+  let Eval = %g;
+  let Startup = %g;
+  let MsgCost = %g;
+  let ByteCost = %g;
+  let PageSize = %g;
+  let Probe = %g;
+  let SortFactor = %g;
+  let FieldSize = 16;
+  let Huge = 1e18;
+
+  // Sequential scan of a base extent.
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = Startup + IO;
+    TotalTime = Startup + IO * ceil(C.TotalSize / PageSize) + Output * C.CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+  }
+
+  // Selection, strategy 1: filter the input sequentially. The per-object
+  // predicate cost includes the exported cost of ADT operations (§7).
+  rule select(C, P) {
+    CountObject = C.CountObject * sel(P);
+    TotalSize = CountObject * C.ObjectSize;
+    TimeFirst = C.TimeFirst + Eval + adtcost(P);
+    TotalTime = C.TotalTime + (Eval + adtcost(P)) * C.CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(CountObject, 1);
+  }
+
+  // Selection, strategy 2: index scan, bypassing the input scan. The
+  // calibrated linear model: pages fetched proportional to selectivity.
+  rule select(C, P) {
+    TimeFirst = if(indexed(P), Startup + Probe + IO, Huge);
+    TotalTime = if(indexed(P),
+                   Startup + Probe
+                   + IO * ceil(C.TotalSize / PageSize) * sel(P)
+                   + Output * C.CountObject * sel(P),
+                   Huge);
+  }
+
+  // Projection: per-object copy; result width estimated from the number of
+  // projected attributes.
+  rule project(C, G) {
+    CountObject = C.CountObject;
+    TotalSize = min(C.TotalSize, CountObject * nnames(G) * FieldSize);
+    TimeFirst = C.TimeFirst;
+    TimeNext = C.TimeNext;
+    TotalTime = C.TotalTime + Eval * C.CountObject;
+  }
+
+  // Sort: blocking; first result after the full input is sorted.
+  rule sort(C, G) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = C.TotalTime + SortFactor * C.CountObject * log2(max(C.CountObject, 2));
+    TotalTime = TimeFirst + Output * C.CountObject;
+    TimeNext = Output;
+  }
+
+  // Join result statistics and strategy 1: materialized nested loops.
+  rule join(C1, C2, P) {
+    CountObject = C1.CountObject * C2.CountObject * sel(P);
+    TotalSize = CountObject * (C1.ObjectSize + C2.ObjectSize);
+    TimeFirst = C1.TimeFirst + C2.TimeFirst + Eval;
+    TotalTime = C1.TotalTime + C2.TotalTime
+                + Eval * C1.CountObject * C2.CountObject
+                + Output * CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(CountObject, 1);
+  }
+
+  // Join, strategy 2: sort-merge.
+  rule join(C1, C2, P) {
+    TimeFirst = C1.TotalTime + C2.TotalTime
+                + SortFactor * (C1.CountObject * log2(max(C1.CountObject, 2))
+                                + C2.CountObject * log2(max(C2.CountObject, 2)));
+    TotalTime = TimeFirst
+                + Eval * (C1.CountObject + C2.CountObject)
+                + Output * CountObject;
+  }
+
+  // Join, strategy 3: index join, probing an index of the inner input.
+  rule join(C1, C2, P) {
+    TimeFirst = if(rindexed(P), C1.TimeFirst + Probe + IO, Huge);
+    TotalTime = if(rindexed(P),
+                   C1.TotalTime + C1.CountObject * (Probe + IO) + Output * CountObject,
+                   Huge);
+  }
+
+  rule union(C1, C2) {
+    CountObject = C1.CountObject + C2.CountObject;
+    TotalSize = C1.TotalSize + C2.TotalSize;
+    TimeFirst = min(C1.TimeFirst, C2.TimeFirst);
+    TotalTime = C1.TotalTime + C2.TotalTime + Output * CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(CountObject, 1);
+  }
+
+  // Duplicate elimination: hash/sort based, blocking.
+  rule dedup(C) {
+    CountObject = max(C.CountObject / 2, 1);
+    TotalSize = C.TotalSize / 2;
+    TimeFirst = C.TotalTime + SortFactor * C.CountObject * log2(max(C.CountObject, 2));
+    TotalTime = TimeFirst + Output * CountObject;
+    TimeNext = Output;
+  }
+
+  // Grouped aggregation; result cardinality from group-attribute statistics.
+  rule aggregate(C, G) {
+    CountObject = groupcard(G);
+    TotalSize = CountObject * C.ObjectSize;
+    TimeFirst = C.TotalTime + Eval * C.CountObject;
+    TotalTime = TimeFirst + Output * CountObject;
+    TimeNext = Output;
+  }
+
+  // Shipping a subplan to a wrapper: uniform communication cost (paper
+  // §2.3), adjusted by the per-source historical factor (§4.3.1).
+  rule submit(W, C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = (C.TimeFirst + MsgCost + ByteCost * C.ObjectSize) * adjust(W);
+    TotalTime = (C.TotalTime + MsgCost + ByteCost * C.TotalSize) * adjust(W);
+    TimeNext = (TotalTime - TimeFirst) / max(CountObject, 1);
+  }
+}
+|}
+    c.io_ms c.output_ms c.eval_ms c.startup_ms c.msg_ms c.byte_ms c.page_size
+    c.probe_ms c.sort_ms
+
+(* Local-scope rules: the mediator executes composition operators in memory,
+   so its predicate evaluation and output costs are cheaper than the generic
+   defaults, and there is no page IO below its joins. *)
+let local_text =
+  {|
+source mediator {
+  let EvalM = 0.05;
+  let OutputM = 0.8;
+
+  // Mediator-side equi-join over materialized subresults: in-memory hash
+  // join (build + probe + candidate checks + result delivery). Restricted to
+  // single equality predicates — the engine hashes exactly those; other
+  // predicates fall back to the generic nested-loop estimate.
+  rule join(C1, C2, A = B) {
+    TimeFirst = C1.TimeFirst + C2.TotalTime + EvalM;
+    TotalTime = C1.TotalTime + C2.TotalTime
+                + EvalM * (C1.CountObject + C2.CountObject + CountObject)
+                + OutputM * CountObject;
+  }
+
+  rule select(C, P) {
+    TimeFirst = C.TimeFirst + EvalM + adtcost(P);
+    TotalTime = C.TotalTime + (EvalM + adtcost(P)) * C.CountObject;
+  }
+}
+|}
+
+(* Parse and install the generic model (Default scope) and the mediator's
+   local rules (Local scope) into a registry. *)
+let register ?calibration registry =
+  ignore
+    (Registry.register_text ~scope_override:Scope.Default registry
+       ~what:"generic cost model" (text ?calibration ()));
+  ignore
+    (Registry.register_text registry ~what:"mediator local rules" local_text)

@@ -1,0 +1,42 @@
+(** The mediator's generic cost model (paper §2.3), expressed in the cost
+    communication language itself and registered at [Default] scope. It
+    covers every operator and every cost variable, guaranteeing the estimator
+    always finds a formula (paper §4.2).
+
+    Alternative physical strategies (sequential vs index scan; nested-loop vs
+    sort-merge vs index join) are competing rules at the same matching level;
+    the estimator evaluates all of them and keeps the lowest value per
+    variable. Inapplicable strategies guard themselves with [if(...)] and
+    yield a huge sentinel. *)
+
+(** The calibration vector of the [DKS92]/[GST96] approach: calibrating the
+    generic model for a class of sources amounts to re-registering the model
+    text with different coefficients. All times in milliseconds. *)
+type calibration = {
+  io_ms : float;       (** read one page *)
+  output_ms : float;   (** produce (materialize) one object *)
+  eval_ms : float;     (** evaluate one predicate *)
+  startup_ms : float;  (** operation start-up overhead *)
+  msg_ms : float;      (** one wrapper message round-trip *)
+  byte_ms : float;     (** ship one byte between wrapper and mediator *)
+  page_size : float;   (** bytes per page *)
+  probe_ms : float;    (** one index probe *)
+  sort_ms : float;     (** per-comparison factor of n log2 n sorting *)
+}
+
+val default_calibration : calibration
+(** The constants measured on ObjectStore in the paper's §5 (IO = 25 ms/page,
+    Output = 9 ms/object), with deliberately conservative communication
+    coefficients (fast sources export their own submit rules). *)
+
+val text : ?calibration:calibration -> unit -> string
+(** The generic model as cost-language source text for the pseudo-source
+    ["default"]. *)
+
+val local_text : string
+(** Local-scope rules of the pseudo-source ["mediator"]: in-memory
+    composition operators (hash equi-join, cheap predicate evaluation). *)
+
+val register : ?calibration:calibration -> Registry.t -> unit
+(** Parse and install the generic model (Default scope) and the mediator's
+    local rules (Local scope) into a registry. *)

@@ -1,0 +1,67 @@
+(* Dynamic cost-formula extensions (paper §4.3.1).
+
+   Two mechanisms make the cost model learn from executed subqueries:
+
+   - [Exact] caching: after a subplan executes, its measured cost vector is
+     installed as a query-scope rule that matches that exact subplan. The
+     next identical subquery is estimated with the real cost (the HERMES
+     style of historical costs).
+
+   - [Adjust] parameter adjustment: instead of storing per-query formulas,
+     the ratio measured/estimated TotalTime of each executed subquery updates
+     a per-source multiplicative factor by exponential smoothing. The generic
+     [submit] rule applies the factor through the [adjust(W)] context
+     function, so all formulas sharing the parameter benefit at once — the
+     paper's answer to HERMES' proliferation of statistical information. *)
+
+open Disco_costlang
+open Disco_algebra
+
+type mode = Off | Exact | Adjust of { smoothing : float }
+
+type record = {
+  plan : Plan.t;
+  source : string;
+  measured : (Ast.cost_var * float) list;
+  estimated_total : float;
+}
+
+type t = {
+  registry : Registry.t;
+  mutable mode : mode;
+  mutable records : record list;  (* newest first *)
+}
+
+let create ?(mode = Off) registry = { registry; mode; records = [] }
+
+let set_mode t mode = t.mode <- mode
+
+let records t = List.rev t.records
+
+(* Feed back the measured costs of an executed wrapper subquery. [plan] is
+   the subplan that was submitted (without the submit node itself). *)
+let observe t ~source ~(plan : Plan.t) ~measured ~estimated_total =
+  t.records <- { plan; source; measured; estimated_total } :: t.records;
+  match t.mode with
+  | Off -> ()
+  | Exact -> ignore (Registry.add_query_rule t.registry ~source plan measured)
+  | Adjust { smoothing } ->
+    (match List.assoc_opt Ast.Total_time measured with
+     | None -> ()
+     | Some real when real <= 0. || estimated_total <= 0. -> ()
+     | Some real ->
+       let ratio = real /. estimated_total in
+       let old_factor = Registry.adjust t.registry ~source in
+       (* the estimate already includes the current factor; the raw model
+          error is ratio * old_factor *)
+       let target = ratio *. old_factor in
+       let factor = (smoothing *. target) +. ((1. -. smoothing) *. old_factor) in
+       Registry.set_adjust t.registry ~source factor)
+
+let forget t =
+  t.records <- [];
+  List.iter
+    (fun source ->
+      Registry.remove_query_rules t.registry ~source;
+      Registry.set_adjust t.registry ~source 1.)
+    (Disco_catalog.Catalog.source_names (Registry.catalog t.registry))

@@ -1,0 +1,47 @@
+(** Dynamic cost-formula extensions (paper §4.3.1): the cost model learns
+    from executed subqueries. *)
+
+open Disco_costlang
+open Disco_algebra
+
+(** - [Exact]: measured cost vectors are installed as query-scope rules
+      matching their exact subplan — the HERMES style of historical costs;
+      the next identical subquery is estimated with the real cost.
+    - [Adjust]: the ratio measured/estimated TotalTime of each executed
+      subquery updates a per-source multiplicative factor by exponential
+      smoothing; the generic [submit] rule applies the factor through the
+      [adjust(W)] context function, so all formulas sharing the parameter
+      benefit at once — the paper's answer to HERMES' proliferation of
+      statistical information. *)
+type mode = Off | Exact | Adjust of { smoothing : float }
+
+type record = {
+  plan : Plan.t;       (** the executed wrapper subplan (no submit node) *)
+  source : string;
+  measured : (Ast.cost_var * float) list;
+  estimated_total : float;  (** the estimate made when the plan was chosen *)
+}
+
+type t
+
+val create : ?mode:mode -> Registry.t -> t
+
+val set_mode : t -> mode -> unit
+
+val records : t -> record list
+(** Oldest first. *)
+
+val observe :
+  t ->
+  source:string ->
+  plan:Plan.t ->
+  measured:(Ast.cost_var * float) list ->
+  estimated_total:float ->
+  unit
+(** Feed back the measured costs of an executed wrapper subquery. In
+    [Adjust] mode, [estimated_total] must include the adjustment factor in
+    force when the estimate was made (the mediator does this), so the
+    smoothing converges. *)
+
+val forget : t -> unit
+(** Drop all records, query-scope rules and adjustment factors. *)

@@ -1,0 +1,114 @@
+(** The mediator's cost-information store.
+
+    During the registration phase the rules, parameters ([let]) and functions
+    ([def]) exported by each wrapper are compiled and integrated here (paper
+    §4.1); during query processing the estimator asks it for the rules
+    matching each plan node. Lookup merges a source's rules with the
+    default-scope rules, sorted by matching level, and caches the merged
+    per-(source, operator) lists — the paper's "own efficient [overriding
+    mechanism] based on kind of virtual tables". *)
+
+open Disco_catalog
+open Disco_costlang
+
+val default_source : string
+(** ["default"]: the pseudo-source owning the generic model. *)
+
+val mediator_source : string
+(** ["mediator"]: the pseudo-source owning local-scope rules; also the rule
+    context of plan nodes outside any [submit]. *)
+
+type t
+
+val create : Catalog.t -> t
+
+val catalog : t -> Catalog.t
+
+(** {1 Statistics resolution helpers (shared with the estimator)} *)
+
+val extent_stat : Stats.extent -> string -> float option
+(** [CountObject], [TotalSize] or [ObjectSize] of an extent. *)
+
+val attr_stat_value : Derive.attr_stat -> string -> Value.t option
+(** [Indexed] (0/1), [CountDistinct], [Min] or [Max] of an attribute. *)
+
+val catalog_path : t -> source:string -> string list -> Value.t option
+(** Resolve [Collection.Stat] or [Collection.Attr.Stat] against the catalog
+    for a named collection of [source]. *)
+
+(** {1 Wrapper parameters and functions} *)
+
+val lookup_let : t -> source:string -> string -> Value.t option
+(** A [let]-bound parameter of a source, evaluated lazily and memoized; lets
+    may reference earlier lets, catalog statistics of their source, defs and
+    builtins. *)
+
+val lookup_def : t -> source:string -> string -> Compile.def option
+
+val lookup_let_or_default : t -> source:string -> string -> Value.t option
+(** Falls back to the generic model's parameters, so wrapper rules may
+    reference coefficients such as [IO]. *)
+
+val lookup_def_or_default : t -> source:string -> string -> Compile.def option
+
+(** {1 Registration} *)
+
+val add_rule :
+  ?interface_of:string -> ?scope_override:Scope.t -> t -> source:string -> Ast.rule ->
+  Rule.t
+(** Compile and install one rule; the scope is {!Rule.classify}ed unless
+    overridden (the generic model forces [Default]). *)
+
+val add_query_rule : t -> source:string -> Disco_algebra.Plan.t ->
+  (Ast.cost_var * float) list -> Rule.t
+(** Install a query-scope rule recording measured costs for one exact subplan
+    (historical costs, paper §4.3.1). *)
+
+val remove_query_rules : t -> source:string -> unit
+
+val clear_source : t -> source:string -> unit
+(** Drop a source's rules, parameters and functions (its query-scope history
+    is kept); part of re-registration. *)
+
+val register_source_decl : ?scope_override:Scope.t -> t -> Ast.source_decl -> Rule.t list
+(** Register everything a wrapper exported: interfaces populate the catalog;
+    lets, defs and rules populate the cost store. Re-registration replaces
+    the source's previous rules and parameters (the paper's administrative
+    interface for refreshing out-of-date cost information, §2.1). Returns
+    the compiled rules. *)
+
+val register_text : ?scope_override:Scope.t -> t -> what:string -> string -> string
+(** Parse and register cost-language text; returns the source name. *)
+
+(** {1 Lookup} *)
+
+val rules_for : t -> source:string -> operator:string -> Rule.t list
+(** Rules of [source] merged with the default model's, most specific first
+    (cached). *)
+
+val matching : t -> source:string -> Disco_algebra.Plan.t -> (Rule.t * Rule.bindings) list
+(** All rules matching a node, most specific first, with their bindings. *)
+
+val rule_count : t -> source:string -> int
+
+(** {1 ADT operation costs (paper §7)}
+
+    Wrappers export the per-call cost and selectivity of their abstract-
+    data-type operations as [let AdtCost_<fn> = ...] and [let AdtSel_<fn> =
+    ...]; registration harvests them into a global table visible to the
+    generic model's [adtcost(P)] context function and to selectivity
+    estimation. *)
+
+val register_adt : t -> name:string -> cost_ms:float -> selectivity:float -> unit
+
+val adt_cost : t -> string -> float option
+(** Exported per-call cost of an ADT operation, in ms. *)
+
+val adt_selectivity : t -> string -> float option
+
+(** {1 Historical adjustment factors (paper §4.3.1)} *)
+
+val set_adjust : t -> source:string -> float -> unit
+val adjust : t -> source:string -> float
+(** Per-source multiplicative factor applied by the generic [submit] rule via
+    the [adjust(W)] context function; defaults to 1. *)

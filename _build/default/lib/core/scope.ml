@@ -1,0 +1,35 @@
+(* The specialization hierarchy of cost rules (paper §4.1, Fig 10). From
+   least to most specific:
+
+   - [Default]: the mediator generic cost model, defined for every operator
+     and every variable; always matches.
+   - [Local]: rules for operators executed by the mediator itself.
+   - [Wrapper]: rules a wrapper exports for any collection of its source.
+   - [Collection]: rules restricted to one named collection.
+   - [Predicate]: rules restricted to one collection and one ground predicate.
+   - [Query]: rules recorded for one exact subquery (the historical-cost
+     extension of §4.3.1). *)
+
+type t = Default | Local | Wrapper | Collection | Predicate | Query
+
+let rank = function
+  | Default -> 0
+  | Local -> 1
+  | Wrapper -> 2
+  | Collection -> 3
+  | Predicate -> 4
+  | Query -> 5
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function
+  | Default -> "default"
+  | Local -> "local"
+  | Wrapper -> "wrapper"
+  | Collection -> "collection"
+  | Predicate -> "predicate"
+  | Query -> "query"
+
+let pp = Fmt.of_to_string to_string
+
+let all = [ Default; Local; Wrapper; Collection; Predicate; Query ]

@@ -1,0 +1,25 @@
+(** The specialization hierarchy of cost rules (paper §4.1, Fig 10), from
+    least to most specific:
+
+    - [Default]: the mediator's generic cost model, defined for every operator
+      and variable; always matches.
+    - [Local]: rules for operators executed by the mediator itself.
+    - [Wrapper]: rules a wrapper exports for any collection of its source.
+    - [Collection]: rules restricted to one named collection.
+    - [Predicate]: rules restricted to one collection and one ground
+      predicate.
+    - [Query]: rules recorded for one exact subquery (the historical-cost
+      extension of §4.3.1). *)
+
+type t = Default | Local | Wrapper | Collection | Predicate | Query
+
+val rank : t -> int
+
+val compare : t -> t -> int
+(** Orders by specificity: [compare Default Query < 0]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** In increasing specificity. *)

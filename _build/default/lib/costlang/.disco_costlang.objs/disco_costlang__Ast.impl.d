@@ -1,0 +1,1 @@
+lib/costlang/ast.ml: Constant Disco_algebra Disco_catalog Disco_common List Pred Schema String

@@ -1,0 +1,1 @@
+lib/costlang/ast.mli: Constant Disco_algebra Disco_catalog Disco_common Pred Schema

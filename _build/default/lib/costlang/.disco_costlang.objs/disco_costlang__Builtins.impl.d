@@ -1,0 +1,1 @@
+lib/costlang/builtins.ml: Disco_common Err Float Fmt List Value

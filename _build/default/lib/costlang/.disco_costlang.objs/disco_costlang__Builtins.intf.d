@@ -1,0 +1,1 @@
+lib/costlang/builtins.mli: Value

@@ -1,0 +1,1 @@
+lib/costlang/check.ml: Ast Builtins Fmt List Option Pp

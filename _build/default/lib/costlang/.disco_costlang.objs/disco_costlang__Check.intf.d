@@ -1,0 +1,1 @@
+lib/costlang/check.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/costlang/compile.ml: Ast Constant Disco_common Err Fmt List Value

@@ -1,0 +1,1 @@
+lib/costlang/compile.mli: Ast Value

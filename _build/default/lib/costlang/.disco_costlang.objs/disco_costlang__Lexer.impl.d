@@ -1,0 +1,1 @@
+lib/costlang/lexer.ml: Buffer Disco_common Err Fmt List String

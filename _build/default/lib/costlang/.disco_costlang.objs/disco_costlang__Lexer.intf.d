@@ -1,0 +1,1 @@
+lib/costlang/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/costlang/parser.ml: Array Ast Constant Disco_algebra Disco_catalog Disco_common Err Float Fmt Lexer List Pred Schema String

@@ -1,0 +1,1 @@
+lib/costlang/parser.mli: Ast

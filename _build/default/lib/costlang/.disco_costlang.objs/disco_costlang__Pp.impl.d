@@ -1,0 +1,1 @@
+lib/costlang/pp.ml: Ast Constant Disco_algebra Disco_catalog Disco_common Fmt List Pred Schema String

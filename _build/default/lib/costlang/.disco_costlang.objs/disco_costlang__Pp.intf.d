@@ -1,0 +1,1 @@
+lib/costlang/pp.mli: Ast Format

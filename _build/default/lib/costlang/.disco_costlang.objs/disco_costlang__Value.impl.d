@@ -1,0 +1,1 @@
+lib/costlang/value.ml: Constant Disco_algebra Disco_common Err Fmt Pred

@@ -1,0 +1,1 @@
+lib/costlang/value.mli: Constant Disco_algebra Disco_common Format Pred

@@ -1,0 +1,18 @@
+(** Pure builtin functions available in every cost formula: [exp ln log2 sqrt
+    ceil floor abs pow min max if yao yaoapprox]. Functions that need
+    mediator context (catalog statistics, bound predicates) — [sel],
+    [indexed], ... — are provided by the estimator, not here. *)
+
+val yao_exact : objects:float -> pages:float -> selected:float -> float
+(** Yao'77: expected {e fraction} of pages touched when selecting [selected]
+    of [objects] records spread uniformly over [pages] pages. Monotone in
+    [selected], 0 at 0, 1 at [objects]. *)
+
+val yao_approx : pages:float -> selected:float -> float
+(** The exponential approximation used in the paper's Fig 13 rule:
+    [1 - exp (-. selected /. pages)]. *)
+
+val find : string -> (Value.t list -> Value.t) option
+(** Look up a builtin by name; [None] lets the caller try wrapper-defined
+    functions. The returned function raises
+    {!Disco_common.Err.Eval_error} on arity mismatch. *)

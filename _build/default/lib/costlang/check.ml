@@ -1,0 +1,179 @@
+(* Static well-formedness checking of a wrapper's registration text. The
+   mediator runs it during the registration phase so that mistakes in a
+   wrapper's export surface immediately, with a location, rather than as
+   evaluation errors in the middle of optimizing some later query. *)
+
+type severity = Error | Warning
+
+type issue = {
+  severity : severity;
+  where : string;  (* "rule scan(C)", "interface Employee", ... *)
+  msg : string;
+}
+
+let issue severity where msg = { severity; where; msg }
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s in %s: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.where i.msg
+
+(* Functions the mediator provides at evaluation time, beyond {!Builtins}. *)
+let context_functions =
+  [ "sel"; "selectivity"; "indexed"; "rindexed"; "adtcost"; "adjust"; "nnames";
+    "groupcard" ]
+
+(* Statistic path tails understood by the estimator. *)
+let operand_stats =
+  [ "CountObject"; "TotalSize"; "ObjectSize"; "TimeFirst"; "TimeNext"; "TotalTime" ]
+
+let attr_stats = [ "Indexed"; "CountDistinct"; "Min"; "Max" ]
+
+let head_vars (h : Ast.head) : string list =
+  let arg = function Ast.Pvar v -> [ v ] | Ast.Pname _ | Ast.Pconst _ -> [] in
+  let pred = function
+    | Ast.Ppred_var v -> [ v ]
+    | Ast.Pcmp (l, _, r) -> arg l @ arg r
+  in
+  match h with
+  | Ast.Hscan c | Ast.Hdedup c -> arg c
+  | Ast.Hselect (c, p) -> arg c @ pred p
+  | Ast.Hproject (c, a) | Ast.Hsort (c, a) | Ast.Haggregate (c, a) | Ast.Hsubmit (a, c)
+    ->
+    arg c @ arg a
+  | Ast.Hjoin (l, r, p) -> arg l @ arg r @ pred p
+  | Ast.Hunion (l, r) -> arg l @ arg r
+
+(* Check one rule: variable-convention references must be bound (by the head
+   or by an earlier body assignment); calls must resolve to a builtin, a
+   context function or a declared [def]; duplicate assignments are errors;
+   paths must end in known statistics. *)
+let check_rule ~lets ~defs (r : Ast.rule) : issue list =
+  let where = Fmt.str "rule %a" Pp.head r.Ast.head in
+  let issues = ref [] in
+  let add sev msg = issues := issue sev where msg :: !issues in
+  let bound = ref (head_vars r.Ast.head) in
+  let is_bound name =
+    List.mem name !bound || List.mem name lets
+    || Option.is_some (Ast.cost_var_of_name name)
+  in
+  let rec check_expr (e : Ast.expr) =
+    match e with
+    | Ast.Num _ | Ast.Str _ -> ()
+    | Ast.Neg e -> check_expr e
+    | Ast.Binop (_, a, b) ->
+      check_expr a;
+      check_expr b
+    | Ast.Call (fn, args) ->
+      if
+        not
+          (List.mem fn defs || List.mem fn context_functions
+          || Option.is_some (Builtins.find fn))
+      then add Error (Fmt.str "unknown function %S" fn);
+      List.iter check_expr args
+    | Ast.Ref [ x ] ->
+      (* a bare capital-letter identifier is a variable by convention and
+         must be bound; other names may be collections or attributes *)
+      if Ast.is_variable_name x && not (is_bound x) then
+        add Error (Fmt.str "unbound variable %S" x)
+    | Ast.Ref (x :: rest) ->
+      if Ast.is_variable_name x && not (is_bound x) then
+        add Error (Fmt.str "unbound variable %S in path" x);
+      (match List.rev rest with
+       | last :: _
+         when not (List.mem last operand_stats || List.mem last attr_stats) ->
+         add Warning
+           (Fmt.str "path ends in %S, which is not a known statistic" last)
+       | _ -> ())
+    | Ast.Ref [] -> add Error "empty reference"
+  in
+  let assigned = ref [] in
+  List.iter
+    (fun (target, e) ->
+      let name =
+        match target with Ast.Cost v -> Ast.cost_var_name v | Ast.Local n -> n
+      in
+      if List.mem name !assigned then
+        add Error (Fmt.str "duplicate assignment to %S" name);
+      assigned := name :: !assigned;
+      check_expr e;
+      bound := name :: !bound)
+    r.Ast.body;
+  if r.Ast.body = [] then add Warning "rule has an empty body";
+  List.rev !issues
+
+let check_interface ~declared (i : Ast.interface_decl) : issue list =
+  let where = "interface " ^ i.Ast.iface_name in
+  let issues = ref [] in
+  let add sev msg = issues := issue sev where msg :: !issues in
+  let attrs =
+    List.filter_map
+      (function Ast.Attr_decl (_, n) -> Some n | _ -> None)
+      i.Ast.members
+  in
+  let rec dup = function
+    | [] -> None
+    | a :: rest -> if List.mem a rest then Some a else dup rest
+  in
+  (match dup attrs with
+   | Some a -> add Error (Fmt.str "duplicate attribute %S" a)
+   | None -> ());
+  (match i.Ast.iface_parent with
+   | Some p when not (List.mem p declared) ->
+     add Error (Fmt.str "parent interface %S is not declared before %s" p i.Ast.iface_name)
+   | _ -> ());
+  List.iter
+    (function
+      | Ast.Attr_stats { attr; _ }
+        when (not (List.mem attr attrs)) && i.Ast.iface_parent = None ->
+        add Error (Fmt.str "cardinality for undeclared attribute %S" attr)
+      | _ -> ())
+    i.Ast.members;
+  if
+    not
+      (List.exists (function Ast.Extent_decl _ -> true | _ -> false) i.Ast.members)
+  then add Warning "no extent cardinality exported (standard values will be used)";
+  List.rev !issues
+
+let known_operators =
+  [ "scan"; "select"; "project"; "sort"; "join"; "union"; "dedup"; "aggregate";
+    "submit" ]
+
+(* Check a whole source declaration. Returns all issues, errors first. *)
+let check_source (s : Ast.source_decl) : issue list =
+  let lets =
+    List.filter_map (function Ast.Let (n, _) -> Some n | _ -> None) s.Ast.items
+  in
+  let defs =
+    List.filter_map (function Ast.Def (n, _, _) -> Some n | _ -> None) s.Ast.items
+  in
+  let issues = ref [] in
+  let declared = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Interface i ->
+        issues := !issues @ check_interface ~declared:!declared i;
+        issues
+        := !issues
+           @ List.concat_map
+               (function Ast.Iface_rule r -> check_rule ~lets ~defs r | _ -> [])
+               i.Ast.members;
+        declared := i.Ast.iface_name :: !declared
+      | Ast.Toplevel_rule r -> issues := !issues @ check_rule ~lets ~defs r
+      | Ast.Capabilities ops ->
+        List.iter
+          (fun op ->
+            if not (List.mem op known_operators) then
+              issues :=
+                !issues
+                @ [ issue Warning "capabilities" (Fmt.str "unknown operator %S" op) ])
+          ops
+      | Ast.Let _ | Ast.Def _ -> ())
+    s.Ast.items;
+  let errors, warnings =
+    List.partition (fun i -> i.severity = Error) !issues
+  in
+  errors @ warnings
+
+let errors issues = List.filter (fun i -> i.severity = Error) issues

@@ -1,0 +1,36 @@
+(** Static well-formedness checking of a wrapper's registration text. The
+    mediator runs it during the registration phase so mistakes in an export
+    surface immediately (with a location) rather than as evaluation errors in
+    the middle of optimizing a later query.
+
+    Errors: unbound head variables referenced in formulas, unknown functions,
+    duplicate assignments, duplicate attributes, cardinality sections for
+    undeclared attributes, parents declared after their sub-interfaces.
+    Warnings: missing extent cardinalities (defaults apply), unknown
+    statistic names in paths, unknown capability operators, empty rule
+    bodies. *)
+
+type severity = Error | Warning
+
+type issue = {
+  severity : severity;
+  where : string;  (** "rule scan(C)", "interface Employee", ... *)
+  msg : string;
+}
+
+val issue : severity -> string -> string -> issue
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val context_functions : string list
+(** Functions the mediator provides at evaluation time beyond {!Builtins}
+    ([sel], [indexed], [adtcost], ...). *)
+
+val check_rule : lets:string list -> defs:string list -> Ast.rule -> issue list
+
+val check_interface : declared:string list -> Ast.interface_decl -> issue list
+
+val check_source : Ast.source_decl -> issue list
+(** All issues of a source declaration, errors first. *)
+
+val errors : issue list -> issue list

@@ -1,0 +1,83 @@
+(* Compilation of cost formulas into closures. This mirrors the paper's
+   "semi-compiled bytecode" (§2.4): a wrapper's rule text is compiled once at
+   registration time; evaluation during query optimization runs the resulting
+   closures without re-parsing.
+
+   The compiled code is parameterized by a [ctx]: the mediator provides
+   reference resolution (statistics paths, child cost variables, bound head
+   variables) and function dispatch (builtins, wrapper [def]s, and
+   context-dependent functions such as [sel]). *)
+
+open Disco_common
+
+type ctx = {
+  resolve_ref : string list -> Value.t;
+  call : string -> Value.t list -> Value.t;
+}
+
+type compiled = ctx -> Value.t
+
+let rec compile (e : Ast.expr) : compiled =
+  match e with
+  | Ast.Num f ->
+    let v = Value.Vnum f in
+    fun _ -> v
+  | Ast.Str s ->
+    let v = Value.Vconst (Constant.String s) in
+    fun _ -> v
+  | Ast.Ref path -> fun ctx -> ctx.resolve_ref path
+  | Ast.Neg e ->
+    let c = compile e in
+    fun ctx -> Value.Vnum (-.Value.to_num (c ctx))
+  | Ast.Binop (op, a, b) ->
+    let ca = compile a and cb = compile b in
+    let f =
+      match op with
+      | Ast.Add -> ( +. )
+      | Ast.Sub -> ( -. )
+      | Ast.Mul -> ( *. )
+      | Ast.Div ->
+        fun x y ->
+          if y = 0. then raise (Err.Eval_error "division by zero in cost formula")
+          else x /. y
+    in
+    fun ctx -> Value.Vnum (f (Value.to_num (ca ctx)) (Value.to_num (cb ctx)))
+  | Ast.Call (name, args) ->
+    let cargs = List.map compile args in
+    fun ctx -> ctx.call name (List.map (fun c -> c ctx) cargs)
+
+let eval_num (c : compiled) ctx = Value.to_num (c ctx)
+
+(* A wrapper-defined function ([def f(x, y) = ...]): compiled once; at call
+   time the parameters shadow the ambient reference resolution. *)
+type def = { params : string list; body : compiled }
+
+let compile_def ~params body = { params; body = compile body }
+
+let apply_def (d : def) (ctx : ctx) (args : Value.t list) : Value.t =
+  if List.length args <> List.length d.params then
+    raise
+      (Err.Eval_error
+         (Fmt.str "function expects %d arguments, got %d" (List.length d.params)
+            (List.length args)));
+  let bound = List.combine d.params args in
+  let inner =
+    { ctx with
+      resolve_ref =
+        (fun path ->
+          match path with
+          | [ x ] when List.mem_assoc x bound -> List.assoc x bound
+          | _ -> ctx.resolve_ref path) }
+  in
+  d.body inner
+
+(* Static analysis: which references does a formula make? Used by the
+   estimator's phase 1 to propagate required-variable lists to children
+   (paper §4.2, optimization (i)/(ii)). *)
+let rec refs (e : Ast.expr) : string list list =
+  match e with
+  | Ast.Num _ | Ast.Str _ -> []
+  | Ast.Ref p -> [ p ]
+  | Ast.Neg e -> refs e
+  | Ast.Binop (_, a, b) -> refs a @ refs b
+  | Ast.Call (_, args) -> List.concat_map refs args

@@ -1,0 +1,212 @@
+(* Hand-written lexer for the cost communication language. *)
+
+open Disco_common
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUMBER f -> Fmt.pf ppf "number %g" f
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COMMA -> Fmt.string ppf "','"
+  | SEMI -> Fmt.string ppf "';'"
+  | DOT -> Fmt.string ppf "'.'"
+  | EQ -> Fmt.string ppf "'='"
+  | NE -> Fmt.string ppf "'<>'"
+  | LT -> Fmt.string ppf "'<'"
+  | LE -> Fmt.string ppf "'<='"
+  | GT -> Fmt.string ppf "'>'"
+  | GE -> Fmt.string ppf "'>='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | COLON -> Fmt.string ppf "':'"
+  | EOF -> Fmt.string ppf "end of input"
+
+type spanned = { tok : token; line : int; col : int }
+
+type state = {
+  what : string;  (* description used in error messages *)
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+}
+
+let make ~what src = { what; src; pos = 0; line = 1; bol = 0 }
+
+let error st msg =
+  Err.parse_error ~what:st.what ~line:st.line ~col:(st.pos - st.bol + 1) msg
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek_char st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Skip whitespace, [//] line comments and [/* */] block comments. *)
+let rec skip_trivia st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+    while peek_char st <> None && peek_char st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '*' ->
+    advance st;
+    advance st;
+    let rec close () =
+      match peek_char st with
+      | None -> error st "unterminated block comment"
+      | Some '*' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+        advance st;
+        advance st
+      | Some _ ->
+        advance st;
+        close ()
+    in
+    close ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  (* fractional part: a '.' followed by a digit (a bare '.' is a path dot) *)
+  (match peek_char st with
+   | Some '.' when st.pos + 1 < String.length st.src && is_digit st.src.[st.pos + 1] ->
+     advance st;
+     while (match peek_char st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | _ -> ());
+  (match peek_char st with
+   | Some ('e' | 'E') ->
+     advance st;
+     (match peek_char st with Some ('+' | '-') -> advance st | _ -> ());
+     if not (match peek_char st with Some c -> is_digit c | None -> false) then
+       error st "malformed exponent in number literal";
+     while (match peek_char st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | _ -> ());
+  float_of_string (String.sub st.src start (st.pos - start))
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek_char st with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some c -> Buffer.add_char buf c
+       | None -> error st "unterminated string literal");
+      advance st;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next st : spanned =
+  skip_trivia st;
+  let line = st.line and col = st.pos - st.bol + 1 in
+  let simple tok =
+    advance st;
+    tok
+  in
+  let tok =
+    match peek_char st with
+    | None -> EOF
+    | Some c when is_ident_start c -> IDENT (lex_ident st)
+    | Some c when is_digit c -> NUMBER (lex_number st)
+    | Some '"' -> STRING (lex_string st)
+    | Some '{' -> simple LBRACE
+    | Some '}' -> simple RBRACE
+    | Some '(' -> simple LPAREN
+    | Some ')' -> simple RPAREN
+    | Some ',' -> simple COMMA
+    | Some ';' -> simple SEMI
+    | Some ':' -> simple COLON
+    | Some '.' -> simple DOT
+    | Some '=' -> simple EQ
+    | Some '+' -> simple PLUS
+    | Some '-' -> simple MINUS
+    | Some '*' -> simple STAR
+    | Some '/' -> simple SLASH
+    | Some '<' ->
+      advance st;
+      (match peek_char st with
+       | Some '=' -> simple LE
+       | Some '>' -> simple NE
+       | _ -> LT)
+    | Some '>' ->
+      advance st;
+      (match peek_char st with Some '=' -> simple GE | _ -> GT)
+    | Some c -> error st (Fmt.str "unexpected character %C" c)
+  in
+  { tok; line; col }
+
+(* Tokenize the whole input. *)
+let tokenize ~what src =
+  let st = make ~what src in
+  let rec go acc =
+    let t = next st in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,37 @@
+(** Hand-written lexer for the cost communication language (also reused by
+    the SQL front end). Supports [//] line comments and [/* ... */] block
+    comments. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+type spanned = { tok : token; line : int; col : int }
+(** A token with its 1-based source position. *)
+
+val tokenize : what:string -> string -> spanned list
+(** Tokenize the whole input, ending with [EOF]. [what] names the input in
+    error messages.
+    @raise Disco_common.Err.Parse_error on lexical errors. *)

@@ -1,0 +1,97 @@
+(* Pretty-printer for the cost language AST, producing concrete syntax that
+   reparses to an equal AST (round-trip property tested in the test suite). *)
+
+open Disco_common
+open Disco_algebra
+open Disco_catalog
+
+let rec expr ppf (e : Ast.expr) =
+  match e with
+  | Ast.Binop (Ast.Add, a, b) -> Fmt.pf ppf "%a + %a" expr a expr b
+  | Ast.Binop (Ast.Sub, a, b) -> Fmt.pf ppf "%a - %a" expr a term b
+  | e -> term ppf e
+
+and term ppf (e : Ast.expr) =
+  match e with
+  | Ast.Binop (Ast.Mul, a, b) -> Fmt.pf ppf "%a * %a" term a factor b
+  | Ast.Binop (Ast.Div, a, b) -> Fmt.pf ppf "%a / %a" term a factor b
+  | e -> factor ppf e
+
+and factor ppf (e : Ast.expr) =
+  match e with
+  | Ast.Num f -> Fmt.pf ppf "%.12g" f
+  | Ast.Str s -> Fmt.pf ppf "%S" s
+  | Ast.Ref path -> Fmt.string ppf (String.concat "." path)
+  | Ast.Neg e -> Fmt.pf ppf "-%a" factor e
+  | Ast.Call (name, args) ->
+    Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") expr) args
+  | Ast.Binop _ -> Fmt.pf ppf "(%a)" expr e
+
+let const ppf (c : Constant.t) =
+  match c with
+  | Constant.Null -> Fmt.string ppf "null"
+  | Constant.Bool b -> Fmt.bool ppf b
+  | Constant.Int i -> Fmt.int ppf i
+  | Constant.Float f -> Fmt.pf ppf "%.12g" f
+  | Constant.String s -> Fmt.pf ppf "%S" s
+
+let arg_pat ppf = function
+  | Ast.Pvar v -> Fmt.string ppf v
+  | Ast.Pname n -> Fmt.string ppf n
+  | Ast.Pconst c -> const ppf c
+
+let pred_pat ppf = function
+  | Ast.Ppred_var v -> Fmt.string ppf v
+  | Ast.Pcmp (l, op, r) -> Fmt.pf ppf "%a %a %a" arg_pat l Pred.pp_cmp op arg_pat r
+
+let head ppf (h : Ast.head) =
+  match h with
+  | Ast.Hscan c -> Fmt.pf ppf "scan(%a)" arg_pat c
+  | Ast.Hselect (c, p) -> Fmt.pf ppf "select(%a, %a)" arg_pat c pred_pat p
+  | Ast.Hproject (c, a) -> Fmt.pf ppf "project(%a, %a)" arg_pat c arg_pat a
+  | Ast.Hsort (c, a) -> Fmt.pf ppf "sort(%a, %a)" arg_pat c arg_pat a
+  | Ast.Hjoin (l, r, p) -> Fmt.pf ppf "join(%a, %a, %a)" arg_pat l arg_pat r pred_pat p
+  | Ast.Hunion (l, r) -> Fmt.pf ppf "union(%a, %a)" arg_pat l arg_pat r
+  | Ast.Hdedup c -> Fmt.pf ppf "dedup(%a)" arg_pat c
+  | Ast.Haggregate (c, g) -> Fmt.pf ppf "aggregate(%a, %a)" arg_pat c arg_pat g
+  | Ast.Hsubmit (w, c) -> Fmt.pf ppf "submit(%a, %a)" arg_pat w arg_pat c
+
+let target ppf = function
+  | Ast.Cost v -> Fmt.string ppf (Ast.cost_var_name v)
+  | Ast.Local name -> Fmt.string ppf name
+
+let rule ppf (r : Ast.rule) =
+  Fmt.pf ppf "@[<v 2>rule %a {@ " head r.head;
+  List.iter (fun (t, e) -> Fmt.pf ppf "%a = %a;@ " target t expr e) r.body;
+  Fmt.pf ppf "@]}"
+
+let member ppf (m : Ast.member) =
+  match m with
+  | Ast.Attr_decl (ty, name) -> Fmt.pf ppf "attribute %a %s;" Schema.pp_ty ty name
+  | Ast.Extent_decl { count; total; objsize } ->
+    Fmt.pf ppf "cardinality extent(%.12g, %.12g, %.12g);" count total objsize
+  | Ast.Attr_stats { attr; indexed; distinct; min; max } ->
+    Fmt.pf ppf "cardinality attribute(%s, %b, %.12g, %a, %a);" attr indexed distinct
+      const min const max
+  | Ast.Iface_rule r -> rule ppf r
+
+let item ppf (i : Ast.item) =
+  match i with
+  | Ast.Capabilities ops -> Fmt.pf ppf "capabilities %s;" (String.concat ", " ops)
+  | Ast.Let (name, e) -> Fmt.pf ppf "let %s = %a;" name expr e
+  | Ast.Def (name, params, e) ->
+    Fmt.pf ppf "def %s(%s) = %a;" name (String.concat ", " params) expr e
+  | Ast.Interface decl ->
+    let parent ppf = function None -> () | Some p -> Fmt.pf ppf " : %s" p in
+    Fmt.pf ppf "@[<v 2>interface %s%a {@ %a@]@ }" decl.iface_name parent
+      decl.iface_parent
+      Fmt.(list ~sep:(any "@ ") member)
+      decl.members
+  | Ast.Toplevel_rule r -> rule ppf r
+
+let source ppf (s : Ast.source_decl) =
+  Fmt.pf ppf "@[<v 2>source %s {@ %a@]@ }" s.source_name
+    Fmt.(list ~sep:(any "@ ") item)
+    s.items
+
+let source_to_string s = Fmt.str "%a" source s

@@ -1,0 +1,1 @@
+lib/exec/adt.ml: Constant Disco_algebra Disco_common Err Fmt List String

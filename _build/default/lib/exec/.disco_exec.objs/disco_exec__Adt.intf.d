@@ -1,0 +1,1 @@
+lib/exec/adt.mli: Constant Disco_algebra Disco_common

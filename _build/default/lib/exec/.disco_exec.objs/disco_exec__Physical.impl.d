@@ -1,0 +1,1 @@
+lib/exec/physical.ml: Btree Cmp Constant Costs Disco_algebra Disco_common Disco_costlang Disco_storage Err Float Fmt List Plan Pred String Table Tuple

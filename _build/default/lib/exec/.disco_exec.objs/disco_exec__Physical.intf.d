@@ -1,0 +1,1 @@
+lib/exec/physical.mli: Cmp Constant Costs Disco_algebra Disco_common Disco_storage Format Plan Pred Table Tuple

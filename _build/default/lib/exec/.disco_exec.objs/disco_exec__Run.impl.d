@@ -1,0 +1,1 @@
+lib/exec/run.ml: Adt Array Btree Buffer Constant Costs Disco_algebra Disco_catalog Disco_common Disco_costlang Disco_storage Err Float Fmt Hashtbl List Physical Plan Pred String Table Tuple

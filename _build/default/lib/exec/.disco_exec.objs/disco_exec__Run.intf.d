@@ -1,0 +1,1 @@
+lib/exec/run.mli: Adt Buffer Costs Disco_costlang Disco_storage Format Physical Tuple

@@ -1,0 +1,1 @@
+lib/exec/tuple.ml: Array Constant Disco_algebra Disco_common Err Fmt Fun List String

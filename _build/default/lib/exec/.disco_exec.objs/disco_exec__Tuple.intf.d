@@ -1,0 +1,1 @@
+lib/exec/tuple.mli: Constant Disco_common Format

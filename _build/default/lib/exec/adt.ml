@@ -1,0 +1,36 @@
+(* Abstract-data-type operations (paper §7): source-specific boolean
+   operations over attribute values — the paper's motivating example is
+   image matching — that are expensive compared to ordinary comparisons.
+   The implementation is shipped to the mediator like cost rules are
+   (§2.4), so deferred evaluation over composed results is possible; the
+   per-call cost and selectivity are exported through the cost language as
+   [let AdtCost_<name> = ...] and [let AdtSel_<name> = ...]. *)
+
+open Disco_common
+
+type t = {
+  name : string;
+  impl : Constant.t -> Constant.t -> bool;  (* attribute value, argument *)
+  cost_ms : float;       (* simulated cost per invocation *)
+  selectivity : float;   (* fraction of objects satisfying the operation *)
+}
+
+let make ~name ~cost_ms ~selectivity impl = { name; impl; cost_ms; selectivity }
+
+let find (ops : t list) name = List.find_opt (fun o -> String.equal o.name name) ops
+
+(* The [apply] callback for [Pred.eval]. *)
+let apply (ops : t list) name a v =
+  match find ops name with
+  | Some op -> op.impl a v
+  | None ->
+    raise (Err.Eval_error (Fmt.str "no implementation for ADT operation %S" name))
+
+(* Per-evaluation cost of a predicate: the engine's comparison cost plus the
+   cost of every ADT invocation it contains (no short-circuit accounting). *)
+let pred_cost (ops : t list) ~eval_ms (p : Disco_algebra.Pred.t) =
+  List.fold_left
+    (fun acc name ->
+      acc +. (match find ops name with Some op -> op.cost_ms | None -> 0.))
+    eval_ms
+    (Disco_algebra.Pred.adt_operations p)

@@ -1,0 +1,29 @@
+(** Abstract-data-type operations (paper §7): source-specific boolean
+    operations over attribute values — the paper's motivating example is
+    image matching — that are expensive compared to ordinary comparisons.
+    The implementation is shipped to the mediator like cost rules are
+    (§2.4); the per-call cost and selectivity are exported through the cost
+    language as [let AdtCost_<name> = ...] / [let AdtSel_<name> = ...]. *)
+
+open Disco_common
+
+type t = {
+  name : string;
+  impl : Constant.t -> Constant.t -> bool;  (** attribute value, argument *)
+  cost_ms : float;      (** simulated cost per invocation *)
+  selectivity : float;  (** fraction of objects satisfying the operation *)
+}
+
+val make :
+  name:string -> cost_ms:float -> selectivity:float ->
+  (Constant.t -> Constant.t -> bool) -> t
+
+val find : t list -> string -> t option
+
+val apply : t list -> string -> Constant.t -> Constant.t -> bool
+(** The [apply] callback for {!Disco_algebra.Pred.eval}.
+    @raise Disco_common.Err.Eval_error for unknown operations. *)
+
+val pred_cost : t list -> eval_ms:float -> Disco_algebra.Pred.t -> float
+(** Per-evaluation cost of a predicate: [eval_ms] plus the cost of every ADT
+    invocation it contains. *)

@@ -1,0 +1,62 @@
+(* True cost coefficients of a simulated engine. Each data source has its own
+   profile — the heterogeneity the paper's cost-model blending addresses: the
+   mediator's generic model assumes one calibration vector, while the actual
+   engines disagree with it and with each other. All values in (simulated)
+   milliseconds. *)
+
+type engine = {
+  io_ms : float;       (* fetch one page *)
+  output_ms : float;   (* produce one result object *)
+  eval_ms : float;     (* evaluate one predicate *)
+  startup_ms : float;  (* operation start-up *)
+  probe_ms : float;    (* one index-level descent *)
+  sort_ms : float;     (* per comparison of n log2 n sorting *)
+}
+
+(* Communication profile between the mediator and one source. *)
+type network = {
+  msg_ms : float;   (* per round-trip *)
+  byte_ms : float;  (* per byte shipped *)
+}
+
+(* The profile matching the paper's ObjectStore measurements (§5):
+   IO = 25 ms per page, Output = 9 ms per object. *)
+let objectstore =
+  { io_ms = 25.;
+    output_ms = 9.;
+    eval_ms = 0.4;
+    startup_ms = 120.;
+    probe_ms = 12.;
+    sort_ms = 0.02 }
+
+(* A relational engine: cheaper per-object CPU, similar IO. *)
+let relational =
+  { io_ms = 20.;
+    output_ms = 2.;
+    eval_ms = 0.15;
+    startup_ms = 80.;
+    probe_ms = 8.;
+    sort_ms = 0.01 }
+
+(* A flat-file source: no indexes, expensive parsing per object. *)
+let flat_file =
+  { io_ms = 15.;
+    output_ms = 25.;
+    eval_ms = 3.;
+    startup_ms = 300.;
+    probe_ms = 1000.;  (* no real index; never used *)
+    sort_ms = 0.1 }
+
+(* The mediator's own in-memory composition engine. *)
+let mediator_engine =
+  { io_ms = 0.;
+    output_ms = 0.8;
+    eval_ms = 0.05;
+    startup_ms = 5.;
+    probe_ms = 0.2;
+    sort_ms = 0.005 }
+
+let lan = { msg_ms = 60.; byte_ms = 0.005 }
+
+(* A slow, high-latency web source. *)
+let wan = { msg_ms = 4000.; byte_ms = 0.08 }

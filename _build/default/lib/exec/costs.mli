@@ -1,0 +1,37 @@
+(** True cost coefficients of the simulated engines. Each data source has its
+    own profile — the heterogeneity the paper's cost-model blending
+    addresses: the mediator's generic model assumes one calibration vector,
+    while the actual engines disagree with it and with each other. All values
+    in (simulated) milliseconds. *)
+
+type engine = {
+  io_ms : float;       (** fetch one page *)
+  output_ms : float;   (** materialize one object *)
+  eval_ms : float;     (** evaluate one predicate *)
+  startup_ms : float;  (** operation start-up *)
+  probe_ms : float;    (** one index-level descent *)
+  sort_ms : float;     (** per comparison of n log2 n sorting *)
+}
+
+(** Communication profile between the mediator and one source. *)
+type network = {
+  msg_ms : float;   (** per round-trip *)
+  byte_ms : float;  (** per byte shipped *)
+}
+
+val objectstore : engine
+(** The profile matching the paper's §5 ObjectStore measurements: 25 ms/page,
+    9 ms/object. *)
+
+val relational : engine
+(** A relational engine: cheaper per-object CPU, similar IO. *)
+
+val flat_file : engine
+(** A flat-file source: expensive parsing per object, no usable indexes. *)
+
+val mediator_engine : engine
+(** The mediator's own in-memory composition engine. *)
+
+val lan : network
+val wan : network
+(** A slow, high-latency link (the web source). *)

@@ -1,0 +1,364 @@
+(* The measuring evaluator: executes a physical plan over the simulated
+   storage engine and accounts simulated time — IO through the buffer pool,
+   CPU per predicate evaluation, output per produced object. The resulting
+   measured cost vectors play the role of the paper's "real measurements of
+   an object database system" (§5); they are also what the historical-cost
+   extension feeds back into the cost model. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_storage
+
+type env = {
+  engine : Costs.engine;
+  buffer : Buffer.t;
+  (* the mediator's composition engine hashes equi-joins over materialized
+     subresults; the simulated 1997-era sources do not *)
+  hash_join : bool;
+  (* ADT operation implementations available to this engine (paper §7);
+     shipped to the mediator at registration, like cost rules *)
+  adts : Adt.t list;
+}
+
+type result = {
+  rows : Tuple.t list;
+  first : float;  (* simulated ms until the first object *)
+  total : float;  (* simulated ms until completion *)
+}
+
+(* The measured counterpart of the estimator's five cost variables. *)
+type vector = {
+  count : float;
+  size : float;
+  time_first : float;
+  time_next : float;
+  total_time : float;
+}
+
+let vector_of_result r =
+  let count = float_of_int (List.length r.rows) in
+  let size = float_of_int (List.fold_left (fun acc t -> acc + Tuple.byte_size t) 0 r.rows) in
+  { count;
+    size;
+    time_first = r.first;
+    time_next = (r.total -. r.first) /. Float.max count 1.;
+    total_time = r.total }
+
+let to_cost_vars (v : vector) =
+  Disco_costlang.Ast.
+    [ (Count_object, v.count);
+      (Total_size, v.size);
+      (Time_first, v.time_first);
+      (Time_next, v.time_next);
+      (Total_time, v.total_time) ]
+
+let pp_vector ppf v =
+  Fmt.pf ppf "{count=%.0f size=%.0fB first=%.1fms next=%.2fms total=%.1fms}" v.count
+    v.size v.time_first v.time_next v.total_time
+
+(* --- Helpers -------------------------------------------------------------- *)
+
+let qualified_attrs (table : Table.t) binding =
+  Array.of_list
+    (List.map
+       (fun (a : Disco_catalog.Schema.attribute) ->
+         binding ^ "." ^ a.Disco_catalog.Schema.attr_name)
+       table.Table.schema.Disco_catalog.Schema.attributes)
+
+let tuple_of_row attrs row = Tuple.make attrs row
+
+let eval_pred env (p : Pred.t) (t : Tuple.t) =
+  Pred.eval ~apply:(Adt.apply env.adts) (fun a -> Tuple.get t a) p
+
+(* Cost of applying [p] once, including its ADT operations. *)
+let pred_cost env (p : Pred.t) = Adt.pred_cost env.adts ~eval_ms:env.engine.Costs.eval_ms p
+
+let nlog2n n = float_of_int n *. (log (Float.max (float_of_int n) 2.) /. log 2.)
+
+(* --- Evaluation ------------------------------------------------------------ *)
+
+let rec run (env : env) (p : Physical.t) : result =
+  let e = env.engine in
+  match p with
+  | Physical.Pmaterialized { rows; first; total } -> { rows; first; total }
+  | Physical.Pscan { table; binding; access; residual } ->
+    let attrs = qualified_attrs table binding in
+    let has_residual = not (Pred.equal residual Pred.True) in
+    (match access with
+     | Physical.Full_scan ->
+       let io = ref 0. and rows = ref [] and scanned = ref 0 in
+       Table.iter_pages table (fun page_no page ->
+           if Buffer.access env.buffer ~table:table.Table.name ~page:page_no then
+             io := !io +. e.Costs.io_ms;
+           Array.iter
+             (fun row ->
+               incr scanned;
+               let t = tuple_of_row attrs row in
+               if (not has_residual) || eval_pred env residual t then rows := t :: !rows)
+             page);
+       let rows = List.rev !rows in
+       (* every scanned object is materialized (the paper's Output cost),
+          whether or not it passes the residual predicate *)
+       let total =
+         e.Costs.startup_ms +. !io
+         +. (if has_residual then float_of_int !scanned *. pred_cost env residual else 0.)
+         +. (float_of_int !scanned *. e.Costs.output_ms)
+       in
+       { rows; first = e.Costs.startup_ms +. e.Costs.io_ms; total }
+     | Physical.Index_scan { attr; op; value } ->
+       let idx =
+         match Table.index table attr with
+         | Some i -> i
+         | None -> raise (Err.Plan_error ("no index on " ^ attr))
+       in
+       let rids = Btree.search idx op value in
+       let io = ref 0. and rows = ref [] in
+       List.iter
+         (fun rid ->
+           if Buffer.access env.buffer ~table:table.Table.name ~page:rid.Btree.page
+           then io := !io +. e.Costs.io_ms;
+           let t = tuple_of_row attrs (Table.fetch table rid) in
+           if (not has_residual) || eval_pred env residual t then rows := t :: !rows)
+         rids;
+       let rows = List.rev !rows in
+       let fetched = float_of_int (List.length rids) in
+       let probe = float_of_int idx.Btree.height *. e.Costs.probe_ms in
+       (* every fetched object is materialized, as above *)
+       let total =
+         e.Costs.startup_ms +. probe +. !io
+         +. (if has_residual then fetched *. pred_cost env residual else 0.)
+         +. (fetched *. e.Costs.output_ms)
+       in
+       { rows; first = e.Costs.startup_ms +. probe +. e.Costs.io_ms; total })
+  | Physical.Pfilter (child, pred) ->
+    let c = run env child in
+    let rows = List.filter (eval_pred env pred) c.rows in
+    let per_row = pred_cost env pred in
+    let total =
+      c.total
+      +. (float_of_int (List.length c.rows) *. per_row)
+      +. (float_of_int (List.length rows) *. e.Costs.output_ms)
+    in
+    { rows; first = c.first +. per_row; total }
+  | Physical.Pproject (child, attrs) ->
+    let c = run env child in
+    let rows = List.map (fun t -> Tuple.project t attrs) c.rows in
+    { rows;
+      first = c.first;
+      total = c.total +. (float_of_int (List.length rows) *. e.Costs.eval_ms) }
+  | Physical.Psort (child, keys) ->
+    let c = run env child in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (k, ord) :: rest ->
+          let r = Constant.compare (Tuple.get a k) (Tuple.get b k) in
+          let r = match ord with Plan.Asc -> r | Plan.Desc -> -r in
+          if r <> 0 then r else go rest
+      in
+      go keys
+    in
+    let rows = List.stable_sort cmp c.rows in
+    let n = List.length rows in
+    let first = c.total +. (e.Costs.sort_ms *. nlog2n n) in
+    { rows; first; total = first +. (float_of_int n *. e.Costs.output_ms) }
+  | Physical.Pnested_join (left, right, pred) ->
+    let l = run env left and r = run env right in
+    (* hash path: pick one equi conjunct between the two sides as build key *)
+    let equi_key =
+      if not env.hash_join then None
+      else
+        let in_rows rows a =
+          match rows with
+          | t :: _ -> (try ignore (Tuple.get t a); true with _ -> false)
+          | [] -> false
+        in
+        List.find_map
+          (function
+            | Pred.Attr_cmp (a, Pred.Eq, b) ->
+              if in_rows l.rows a && in_rows r.rows b then Some (a, b)
+              else if in_rows l.rows b && in_rows r.rows a then Some (b, a)
+              else None
+            | _ -> None)
+          (Pred.conjuncts pred)
+    in
+    (match equi_key with
+     | Some (lkey, rkey) ->
+       let table = Hashtbl.create (List.length r.rows) in
+       List.iter
+         (fun rt -> Hashtbl.add table (Constant.to_string (Tuple.get rt rkey)) rt)
+         r.rows;
+       let candidates = ref 0 in
+       let rows =
+         List.concat_map
+           (fun lt ->
+             let matches = Hashtbl.find_all table (Constant.to_string (Tuple.get lt lkey)) in
+             candidates := !candidates + List.length matches;
+             List.filter_map
+               (fun rt ->
+                 let t = Tuple.concat lt rt in
+                 if eval_pred env pred t then Some t else None)
+               matches)
+           l.rows
+       in
+       let emitted = float_of_int (List.length rows) in
+       let build_probe =
+         float_of_int (List.length l.rows + List.length r.rows) *. e.Costs.eval_ms
+       in
+       let total =
+         l.total +. r.total +. build_probe
+         +. (float_of_int !candidates *. pred_cost env pred)
+         +. (emitted *. e.Costs.output_ms)
+       in
+       { rows; first = l.first +. r.total +. e.Costs.eval_ms; total }
+     | None ->
+       let rows =
+         List.concat_map
+           (fun lt ->
+             List.filter_map
+               (fun rt ->
+                 let t = Tuple.concat lt rt in
+                 if eval_pred env pred t then Some t else None)
+               r.rows)
+           l.rows
+       in
+       let pairs = float_of_int (List.length l.rows * List.length r.rows) in
+       let emitted = float_of_int (List.length rows) in
+       let total =
+         l.total +. r.total
+         +. (pairs *. pred_cost env pred)
+         +. (emitted *. e.Costs.output_ms)
+       in
+       { rows; first = l.first +. r.first +. e.Costs.eval_ms; total })
+  | Physical.Pindex_join { outer; table; binding; outer_attr; inner_attr; residual } ->
+    let o = run env outer in
+    let idx =
+      match Table.index table inner_attr with
+      | Some i -> i
+      | None -> raise (Err.Plan_error ("no index on " ^ inner_attr))
+    in
+    let attrs = qualified_attrs table binding in
+    let io = ref 0. and probes = ref 0 and rows = ref [] and fetched = ref 0 in
+    List.iter
+      (fun ot ->
+        incr probes;
+        let key = Tuple.get ot outer_attr in
+        List.iter
+          (fun rid ->
+            if Buffer.access env.buffer ~table:table.Table.name ~page:rid.Btree.page
+            then io := !io +. e.Costs.io_ms;
+            incr fetched;
+            let t = Tuple.concat ot (tuple_of_row attrs (Table.fetch table rid)) in
+            if Pred.equal residual Pred.True || eval_pred env residual t then
+              rows := t :: !rows)
+          (Btree.lookup idx key))
+      o.rows;
+    let rows = List.rev !rows in
+    let emitted = float_of_int (List.length rows) in
+    let probe_cost =
+      float_of_int !probes *. float_of_int idx.Btree.height *. e.Costs.probe_ms
+    in
+    let residual_cost =
+      if Pred.equal residual Pred.True then 0.
+      else float_of_int !fetched *. pred_cost env residual
+    in
+    let total =
+      o.total +. probe_cost +. !io +. residual_cost
+      +. (float_of_int !fetched *. e.Costs.output_ms)
+      +. (emitted *. e.Costs.output_ms)
+    in
+    { rows;
+      first = o.first +. (float_of_int idx.Btree.height *. e.Costs.probe_ms) +. e.Costs.io_ms;
+      total }
+  | Physical.Punion (left, right) ->
+    let l = run env left and r = run env right in
+    let rows = l.rows @ r.rows in
+    { rows;
+      first = Float.min l.first r.first;
+      total =
+        l.total +. r.total +. (float_of_int (List.length rows) *. e.Costs.output_ms) }
+  | Physical.Pdedup child ->
+    let c = run env child in
+    let seen = Hashtbl.create 64 in
+    let rows =
+      List.filter
+        (fun t ->
+          let k = Tuple.key t in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        c.rows
+    in
+    let n = List.length c.rows in
+    let first = c.total +. (e.Costs.sort_ms *. nlog2n n) in
+    { rows; first; total = first +. (float_of_int (List.length rows) *. e.Costs.output_ms) }
+  | Physical.Paggregate (child, agg) ->
+    let c = run env child in
+    let groups : (string, Tuple.t * Tuple.t list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun t ->
+        let key =
+          String.concat "\x00"
+            (List.map (fun a -> Constant.to_string (Tuple.get t a)) agg.Plan.group_by)
+        in
+        match Hashtbl.find_opt groups key with
+        | Some (_, rows) -> rows := t :: !rows
+        | None ->
+          Hashtbl.add groups key (t, ref [ t ]);
+          order := key :: !order)
+      c.rows;
+    let aggregate_rows rows (f, input, _) : Constant.t =
+      let nums () =
+        List.filter_map (fun t -> Constant.to_float_opt (Tuple.get t input)) rows
+      in
+      match f with
+      | Plan.Count -> Constant.Int (List.length rows)
+      | Plan.Sum -> Constant.Float (List.fold_left ( +. ) 0. (nums ()))
+      | Plan.Avg ->
+        let xs = nums () in
+        if xs = [] then Constant.Null
+        else Constant.Float (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+      | Plan.Min ->
+        (match rows with
+         | [] -> Constant.Null
+         | t0 :: _ ->
+           List.fold_left
+             (fun acc t ->
+               let v = Tuple.get t input in
+               if Constant.compare v acc < 0 then v else acc)
+             (Tuple.get t0 input) rows)
+      | Plan.Max ->
+        (match rows with
+         | [] -> Constant.Null
+         | t0 :: _ ->
+           List.fold_left
+             (fun acc t ->
+               let v = Tuple.get t input in
+               if Constant.compare v acc > 0 then v else acc)
+             (Tuple.get t0 input) rows)
+    in
+    let out_attrs =
+      Array.of_list (agg.Plan.group_by @ List.map (fun (_, _, o) -> o) agg.Plan.aggs)
+    in
+    let rows =
+      List.rev_map
+        (fun key ->
+          let witness, rows = Hashtbl.find groups key in
+          let group_vals = List.map (fun a -> Tuple.get witness a) agg.Plan.group_by in
+          let agg_vals = List.map (aggregate_rows !rows) agg.Plan.aggs in
+          Tuple.make out_attrs (Array.of_list (group_vals @ agg_vals)))
+        !order
+    in
+    let n = float_of_int (List.length c.rows) in
+    let first = c.total +. (n *. e.Costs.eval_ms) in
+    { rows;
+      first;
+      total = first +. (float_of_int (List.length rows) *. e.Costs.output_ms) }
+
+(* Execute and measure in one step. *)
+let measure env p : Tuple.t list * vector =
+  let r = run env p in
+  (r.rows, vector_of_result r)

@@ -1,0 +1,46 @@
+(** The measuring evaluator: executes a physical plan over the simulated
+    storage engine and accounts simulated time — IO through the buffer pool,
+    CPU per predicate, materialization per object touched, delivery per
+    result. The resulting measured cost vectors play the role of the paper's
+    "real measurements of an object database system" (§5); they are also what
+    the historical-cost extension feeds back into the cost model. *)
+
+open Disco_storage
+
+type env = {
+  engine : Costs.engine;
+  buffer : Buffer.t;
+  hash_join : bool;
+      (** the mediator's composition engine hashes equi-joins over
+          materialized subresults; the simulated 1997-era sources do not *)
+  adts : Adt.t list;
+      (** ADT operation implementations available to this engine (paper §7);
+          shipped to the mediator at registration, like cost rules *)
+}
+
+type result = {
+  rows : Tuple.t list;
+  first : float;  (** simulated ms until the first object *)
+  total : float;  (** simulated ms until completion *)
+}
+
+(** The measured counterpart of the estimator's five cost variables. *)
+type vector = {
+  count : float;
+  size : float;
+  time_first : float;
+  time_next : float;
+  total_time : float;
+}
+
+val vector_of_result : result -> vector
+
+val to_cost_vars : vector -> (Disco_costlang.Ast.cost_var * float) list
+
+val pp_vector : Format.formatter -> vector -> unit
+
+val run : env -> Physical.t -> result
+(** Execute a physical plan, producing rows and simulated times. *)
+
+val measure : env -> Physical.t -> Tuple.t list * vector
+(** {!run} followed by {!vector_of_result}. *)

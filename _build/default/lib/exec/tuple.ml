@@ -1,0 +1,76 @@
+(* Runtime tuples: a flat array of constants with qualified attribute names
+   ("e.salary"). Joins concatenate, projections restrict. *)
+
+open Disco_common
+
+type t = {
+  attrs : string array;
+  values : Constant.t array;
+}
+
+let make attrs values =
+  if Array.length attrs <> Array.length values then
+    invalid_arg "Tuple.make: attribute/value arity mismatch";
+  { attrs; values }
+
+let arity t = Array.length t.attrs
+
+let find_index t name =
+  let rec go i =
+    if i >= Array.length t.attrs then None
+    else if String.equal t.attrs.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Attribute lookup; accepts both qualified names and, when unambiguous in
+   the tuple, bare names. *)
+let get t name : Constant.t =
+  match find_index t name with
+  | Some i -> t.values.(i)
+  | None ->
+    (* fall back to suffix match on the unqualified part *)
+    let matches = ref [] in
+    Array.iteri
+      (fun i a ->
+        match Disco_algebra.Plan.split_attr a with
+        | Some (_, base) when String.equal base name -> matches := i :: !matches
+        | _ -> ())
+      t.attrs;
+    (match !matches with
+     | [ i ] -> t.values.(i)
+     | _ ->
+       raise
+         (Err.Eval_error
+            (Fmt.str "attribute %S not found in tuple (%s)" name
+               (String.concat ", " (Array.to_list t.attrs)))))
+
+let concat a b =
+  { attrs = Array.append a.attrs b.attrs; values = Array.append a.values b.values }
+
+let project t names =
+  let values = Array.of_list (List.map (fun n -> get t n) names) in
+  { attrs = Array.of_list names; values }
+
+(* Serialized byte size, used to charge communication cost. *)
+let byte_size t =
+  Array.fold_left (fun acc v -> acc + Constant.byte_size v) 0 t.values
+
+let equal a b =
+  Array.length a.values = Array.length b.values
+  && (let ok = ref true in
+      Array.iteri (fun i v -> if not (Constant.equal v b.values.(i)) then ok := false) a.values;
+      !ok)
+
+(* A comparable key for hashing/dedup: the rendered values. *)
+let key t = String.concat "\x00" (Array.to_list (Array.map Constant.to_string t.values))
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)"
+    Fmt.(array ~sep:(any ", ") Constant.pp)
+    t.values
+
+let pp_with_names ppf t =
+  let item ppf i = Fmt.pf ppf "%s=%a" t.attrs.(i) Constant.pp t.values.(i) in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") item)
+    (List.init (Array.length t.attrs) Fun.id)

@@ -1,0 +1,1 @@
+lib/mediator/mediator.mli: Catalog Disco_algebra Disco_catalog Disco_core Disco_exec Disco_sql Disco_wrapper Estimator Generic History Optimizer Plan Pred Registry Run Sql Tuple Wrapper

@@ -1,0 +1,1 @@
+lib/mediator/optimizer.ml: Array Disco_algebra Disco_common Disco_core Disco_costlang Err Estimator Hashtbl List Option Plan Pred Set String

@@ -1,0 +1,1 @@
+lib/mediator/optimizer.mli: Disco_algebra Disco_core Plan Pred Registry

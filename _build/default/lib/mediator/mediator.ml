@@ -1,0 +1,442 @@
+(* The mediator facade: registration phase (paper Fig 1) and query processing
+   phase (Fig 2). [register] uploads a wrapper's schemas, statistics and cost
+   rules into the catalog and rule registry; [run_query] parses a declarative
+   query, optimizes it under the blended cost model, executes the chosen plan
+   (submitting subplans to wrappers and composing their answers), and feeds
+   measured costs back into the historical-cost extension. *)
+
+open Disco_common
+open Disco_catalog
+open Disco_algebra
+open Disco_core
+open Disco_storage
+open Disco_exec
+open Disco_wrapper
+open Disco_sql
+
+type t = {
+  catalog : Catalog.t;
+  registry : Registry.t;
+  history : History.t;
+  mutable wrappers : (string * Wrapper.t) list;
+}
+
+let create ?calibration ?(history_mode = History.Off) () =
+  let catalog = Catalog.create () in
+  let registry = Registry.create catalog in
+  Generic.register ?calibration registry;
+  { catalog;
+    registry;
+    history = History.create ~mode:history_mode registry;
+    wrappers = [] }
+
+let registry t = t.registry
+let catalog t = t.catalog
+let history t = t.history
+
+(* Registration phase: the wrapper returns schemas, statistics and cost
+   information; the mediator statically checks the export, then compiles and
+   stores it. Re-registration refreshes statistics and replaces rules. *)
+let register t (w : Wrapper.t) =
+  let decl = Wrapper.registration_decl w in
+  (match Disco_costlang.Check.errors (Disco_costlang.Check.check_source decl) with
+   | [] -> ()
+   | err :: _ ->
+     raise
+       (Err.Eval_error
+          (Fmt.str "registration of %S rejected: %a" w.Wrapper.name
+             Disco_costlang.Check.pp_issue err)));
+  ignore (Registry.register_source_decl t.registry decl);
+  t.wrappers <- (w.Wrapper.name, w) :: List.remove_assoc w.Wrapper.name t.wrappers
+
+let find_wrapper t name =
+  match List.assoc_opt name t.wrappers with
+  | Some w -> w
+  | None -> raise (Err.Unknown_source name)
+
+(* --- Query resolution: SQL -> optimizer spec -------------------------------- *)
+
+type resolved = {
+  spec : Optimizer.spec;
+  post_pred : Pred.t;                 (* residual mediator-side predicate *)
+  (* expensive (ADT) single-relation predicates whose placement — pushed to
+     the wrapper or deferred past the joins — is decided by cost (§7) *)
+  deferrable : (string * Pred.t) list;
+  items : Sql.item list;
+  star : bool;
+  star_attrs : string list;           (* output attributes for SELECT * *)
+  distinct : bool;
+  group_by : string list;
+  order_by : (string * Plan.order) list;
+  limit : int option;
+}
+
+let resolve t (q : Sql.t) : resolved =
+  (* resolve each relation to a source *)
+  let rels =
+    List.map
+      (fun (r : Sql.relation) ->
+        let source =
+          match r.Sql.rel_source with
+          | Some s ->
+            if not (Catalog.mem_collection t.catalog ~source:s r.Sql.rel_collection)
+            then raise (Err.Unknown_collection (s ^ "." ^ r.Sql.rel_collection));
+            s
+          | None ->
+            (match Catalog.locate_collection t.catalog r.Sql.rel_collection with
+             | Some s -> s
+             | None -> raise (Err.Unknown_collection r.Sql.rel_collection))
+        in
+        { Plan.source; collection = r.Sql.rel_collection; binding = r.Sql.rel_alias })
+      q.Sql.relations
+  in
+  (* alias uniqueness *)
+  let aliases = List.map (fun r -> r.Plan.binding) rels in
+  let rec dup = function
+    | [] -> None
+    | a :: rest -> if List.mem a rest then Some a else dup rest
+  in
+  (match dup aliases with
+   | Some a -> raise (Err.Plan_error (Fmt.str "duplicate alias %S" a))
+   | None -> ());
+  let attrs_of r =
+    let entry =
+      Catalog.find_collection t.catalog ~source:r.Plan.source r.Plan.collection
+    in
+    Schema.attribute_names entry.Catalog.schema
+  in
+  (* qualify an attribute reference *)
+  let qualify name =
+    match Plan.split_attr name with
+    | Some (alias, attr) ->
+      (match List.find_opt (fun r -> String.equal r.Plan.binding alias) rels with
+       | Some r ->
+         if List.mem attr (attrs_of r) then name
+         else raise (Err.Unknown_attribute { collection = r.Plan.collection; attribute = attr })
+       | None -> raise (Err.Plan_error (Fmt.str "unknown alias %S in %S" alias name)))
+    | None ->
+      (match List.filter (fun r -> List.mem name (attrs_of r)) rels with
+       | [ r ] -> r.Plan.binding ^ "." ^ name
+       | [] -> raise (Err.Plan_error (Fmt.str "unknown attribute %S" name))
+       | _ -> raise (Err.Plan_error (Fmt.str "ambiguous attribute %S" name)))
+  in
+  let rec qualify_pred = function
+    | Pred.Cmp (a, op, v) -> Pred.Cmp (qualify a, op, v)
+    | Pred.Attr_cmp (a, op, b) -> Pred.Attr_cmp (qualify a, op, qualify b)
+    | Pred.Apply (fn, a, v) -> Pred.Apply (fn, qualify a, v)
+    | Pred.And (p, q) -> Pred.And (qualify_pred p, qualify_pred q)
+    | Pred.Or (p, q) -> Pred.Or (qualify_pred p, qualify_pred q)
+    | Pred.Not p -> Pred.Not (qualify_pred p)
+    | Pred.True -> Pred.True
+  in
+  let where = qualify_pred q.Sql.where in
+  let items =
+    List.map
+      (function
+        | Sql.Col a -> Sql.Col (qualify a)
+        | Sql.Agg (f, "", o) -> Sql.Agg (f, "", o)
+        | Sql.Agg (f, i, o) -> Sql.Agg (f, qualify i, o))
+      q.Sql.items
+  in
+  let group_by = List.map qualify q.Sql.group_by in
+  (* ORDER BY may reference an aggregate's output name, which is not a base
+     attribute *)
+  let agg_outputs =
+    List.filter_map (function Sql.Agg (_, _, o) -> Some o | Sql.Col _ -> None) items
+  in
+  let order_by =
+    List.map
+      (fun (a, o) -> if List.mem a agg_outputs then (a, o) else (qualify a, o))
+      q.Sql.order_by
+  in
+  (* partition the WHERE conjuncts *)
+  let alias_of a = Option.map fst (Plan.split_attr a) in
+  let conjuncts = Pred.conjuncts where in
+  let classify p =
+    let alias_set =
+      List.sort_uniq String.compare (List.filter_map alias_of (Pred.attributes p))
+    in
+    match p, alias_set with
+    | Pred.Cmp _, [ a ] -> `Local a
+    | Pred.Attr_cmp (x, _, y), [ _; _ ] ->
+      `Join (Option.get (alias_of x), Option.get (alias_of y), p)
+    | _, [ a ] ->
+      (* ADT-bearing predicates are placement candidates, not forced
+         pushdowns: evaluating an expensive operation after a reducing join
+         can be much cheaper (paper §7) *)
+      if Pred.has_apply p then `Defer (a, p) else `Local a
+    | _ -> `Post
+  in
+  let locals = Hashtbl.create 8 in
+  let joins = ref [] and post = ref [] and defers = ref [] in
+  List.iter
+    (fun p ->
+      match classify p with
+      | `Local a ->
+        Hashtbl.replace locals a (p :: Option.value ~default:[] (Hashtbl.find_opt locals a))
+      | `Join (a, b, p) -> joins := (a, b, p) :: !joins
+      | `Defer (a, p) -> defers := (a, p) :: !defers
+      | `Post -> post := p :: !post)
+    conjuncts;
+  (* attributes each alias must export: everything referenced above the scan *)
+  let needed = Hashtbl.create 8 in
+  let need a =
+    match Plan.split_attr a with
+    | Some (alias, _) ->
+      Hashtbl.replace needed alias
+        (a :: Option.value ~default:[] (Hashtbl.find_opt needed alias))
+    | None -> ()
+  in
+  List.iter
+    (function Sql.Col a -> need a | Sql.Agg (_, i, _) -> if i <> "" then need i)
+    items;
+  List.iter need group_by;
+  List.iter (fun (a, _) -> need a) order_by;
+  List.iter (fun (_, _, p) -> List.iter need (Pred.attributes p)) !joins;
+  List.iter (fun p -> List.iter need (Pred.attributes p)) !post;
+  List.iter (fun (_, p) -> List.iter need (Pred.attributes p)) !defers;
+  if q.Sql.star then
+    List.iter (fun r -> List.iter (fun a -> need (r.Plan.binding ^ "." ^ a)) (attrs_of r)) rels;
+  let bases =
+    List.map
+      (fun r ->
+        let alias = r.Plan.binding in
+        let pred =
+          Pred.conj (Option.value ~default:[] (Hashtbl.find_opt locals alias))
+        in
+        let all = List.map (fun a -> alias ^ "." ^ a) (attrs_of r) in
+        let wanted =
+          List.sort_uniq String.compare
+            (Option.value ~default:[] (Hashtbl.find_opt needed alias))
+        in
+        let project =
+          (* keep catalog order; skip the projection when everything is used *)
+          let kept = List.filter (fun a -> List.mem a wanted) all in
+          if List.length kept = List.length all || kept = [] then None else Some kept
+        in
+        { Optimizer.ref_ = r;
+          pred;
+          project;
+          can_select = Catalog.capable t.catalog ~source:r.Plan.source "select";
+          can_project = Catalog.capable t.catalog ~source:r.Plan.source "project" })
+      rels
+  in
+  let star_attrs =
+    List.concat_map (fun r -> List.map (fun a -> r.Plan.binding ^ "." ^ a) (attrs_of r)) rels
+  in
+  { spec =
+      { Optimizer.bases;
+        joins = !joins;
+        can_join = (fun s -> Catalog.capable t.catalog ~source:s "join") };
+    post_pred = Pred.conj !post;
+    deferrable = !defers;
+    items;
+    star = q.Sql.star;
+    star_attrs;
+    distinct = q.Sql.distinct;
+    group_by;
+    order_by;
+    limit = q.Sql.limit }
+
+(* Placement alternatives for the deferrable (ADT) predicates: pushed into
+   their base relation's selection, or evaluated at the mediator after the
+   joins. The caller costs both decorated plans and keeps the cheaper. *)
+let variants (r : resolved) : resolved list =
+  match r.deferrable with
+  | [] -> [ r ]
+  | ds ->
+    let pushed =
+      let bases =
+        List.map
+          (fun (b : Optimizer.base) ->
+            let mine =
+              List.filter_map
+                (fun (a, p) ->
+                  if String.equal a b.Optimizer.ref_.Plan.binding then Some p else None)
+                ds
+            in
+            if mine = [] then b
+            else
+              { b with
+                Optimizer.pred = Pred.conj (Pred.conjuncts b.Optimizer.pred @ mine) })
+          r.spec.Optimizer.bases
+      in
+      { r with spec = { r.spec with Optimizer.bases }; deferrable = [] }
+    in
+    let deferred =
+      { r with
+        post_pred = Pred.conj (Pred.conjuncts r.post_pred @ List.map snd ds);
+        deferrable = [] }
+    in
+    [ pushed; deferred ]
+
+(* Wrap the optimized join tree with the mediator-side decoration:
+   residual predicate, aggregation or projection, dedup, sort. *)
+let decorate (r : resolved) (joined : Plan.t) : Plan.t =
+  let filtered =
+    if Pred.equal r.post_pred Pred.True then joined else Plan.Select (joined, r.post_pred)
+  in
+  let aggs = List.filter_map (function Sql.Agg (f, i, o) -> Some (f, i, o) | _ -> None) r.items in
+  let shaped =
+    if aggs <> [] || r.group_by <> [] then begin
+      let cols = List.filter_map (function Sql.Col a -> Some a | _ -> None) r.items in
+      List.iter
+        (fun c ->
+          if not (List.mem c r.group_by) then
+            raise
+              (Err.Plan_error
+                 (Fmt.str "column %S must appear in GROUP BY when aggregating" c)))
+        cols;
+      Plan.Aggregate (filtered, { Plan.group_by = r.group_by; aggs })
+    end
+    else if r.star then filtered
+    else
+      let cols = List.filter_map (function Sql.Col a -> Some a | _ -> None) r.items in
+      Plan.Project (filtered, cols)
+  in
+  let deduped = if r.distinct then Plan.Dedup shaped else shaped in
+  if r.order_by = [] then deduped else Plan.Sort (deduped, r.order_by)
+
+(* --- Plan selection ----------------------------------------------------------- *)
+
+(* Optimize one resolved variant into a complete decorated plan. *)
+let plan_of_variant ?objective t (r : resolved) : Plan.t =
+  let joined =
+    match r.spec.Optimizer.bases with
+    | [ b ] -> Optimizer.submit_base b
+    | _ -> fst (Optimizer.optimize ?objective t.registry r.spec)
+  in
+  decorate r joined
+
+(* Parse, resolve and optimize a query — including the push-vs-defer choice
+   for expensive predicates; returns the decorated plan and its estimated
+   TotalTime. *)
+let best_plan ?(objective = Optimizer.Total_time) t (text : string) : Plan.t * float =
+  let q = Sql.parse text in
+  let r = resolve t q in
+  let var =
+    match objective with
+    | Optimizer.Total_time -> Disco_costlang.Ast.Total_time
+    | Optimizer.First_tuple -> Disco_costlang.Ast.Time_first
+  in
+  let candidates =
+    List.map
+      (fun v ->
+        let plan = plan_of_variant ~objective t v in
+        let ann = Estimator.estimate ~require_vars:[ var ] t.registry plan in
+        (plan, Option.get (Estimator.var ann var)))
+      (variants r)
+  in
+  match candidates with
+  | [] -> raise (Err.Plan_error "no plan")
+  | first :: rest ->
+    List.fold_left (fun best c -> if snd c < snd best then c else best) first rest
+
+let plan_query ?objective t text = best_plan ?objective t text
+
+(* --- Execution ------------------------------------------------------------------ *)
+
+(* The mediator's composition engine. ADT implementations are shipped by
+   wrappers at registration (like cost rules, §2.4), so deferred predicates
+   can be evaluated over composed results. *)
+let mediator_run_env t =
+  { Run.engine = Costs.mediator_engine;
+    buffer = Buffer.create ~capacity:1;
+    hash_join = true;
+    adts = List.concat_map (fun (_, w) -> w.Wrapper.adts) t.wrappers }
+
+(* Execute the mediator-side plan: submits run in their wrappers (with
+   communication charged per the wrapper's network and history fed back);
+   composition operators run in the mediator engine. *)
+let rec to_physical t (plan : Plan.t) : Physical.t =
+  match plan with
+  | Plan.Submit (src, sub) ->
+    let w = find_wrapper t src in
+    let rows, vec = Wrapper.execute w sub in
+    (* the estimate carries the current per-source adjustment factor, so the
+       smoothing in History.observe converges instead of compounding *)
+    let estimated_total =
+      try
+        let ann = Estimator.estimate ~source:src t.registry sub in
+        Estimator.total_time ann *. Registry.adjust t.registry ~source:src
+      with _ -> 0.
+    in
+    History.observe t.history ~source:src ~plan:sub ~measured:(Run.to_cost_vars vec)
+      ~estimated_total;
+    let net = w.Wrapper.network in
+    let comm = net.Costs.msg_ms +. (net.Costs.byte_ms *. vec.Run.size) in
+    Physical.Pmaterialized
+      { rows;
+        first = vec.Run.time_first +. net.Costs.msg_ms;
+        total = vec.Run.total_time +. comm }
+  | Plan.Scan _ ->
+    raise (Err.Plan_error "bare scan at the mediator (missing submit)")
+  | Plan.Select (c, p) -> Physical.Pfilter (to_physical t c, p)
+  | Plan.Project (c, attrs) -> Physical.Pproject (to_physical t c, attrs)
+  | Plan.Sort (c, keys) -> Physical.Psort (to_physical t c, keys)
+  | Plan.Join (l, r, p) -> Physical.Pnested_join (to_physical t l, to_physical t r, p)
+  | Plan.Union (l, r) -> Physical.Punion (to_physical t l, to_physical t r)
+  | Plan.Dedup c -> Physical.Pdedup (to_physical t c)
+  | Plan.Aggregate (c, a) -> Physical.Paggregate (to_physical t c, a)
+
+type answer = {
+  rows : Tuple.t list;
+  plan : Plan.t;
+  estimate : Estimator.ann;
+  measured : Run.vector;
+}
+
+(* The full query-processing phase of Fig 2. *)
+let run_query ?objective t (text : string) : answer =
+  let q = Sql.parse text in
+  let r = resolve t q in
+  let plan, _ = best_plan ?objective t text in
+  let estimate = Estimator.estimate t.registry plan in
+  let physical = to_physical t plan in
+  let rows, measured = Run.measure (mediator_run_env t) physical in
+  let rows =
+    match r.limit with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  { rows; plan; estimate; measured }
+
+(* EXPLAIN output: the chosen plan with per-node cost estimates. *)
+let explain t (text : string) : string =
+  let plan, _ = plan_query t text in
+  let ann = Estimator.estimate t.registry plan in
+  Fmt.str "%a@.%s" Plan.pp_indented plan (Estimator.report ann)
+
+(* EXPLAIN ANALYZE: execute the query and report, per wrapper subquery and
+   overall, the estimated vs measured cost — the estimation-quality feedback
+   an administrator would look at before deciding which wrappers need better
+   cost rules (or a history mode). *)
+let analyze ?objective t (text : string) : string =
+  let before = List.length (History.records t.history) in
+  let a = run_query ?objective t text in
+  let new_records =
+    List.filteri (fun i _ -> i >= before) (History.records t.history)
+  in
+  let buf = Stdlib.Buffer.create 256 in
+  Stdlib.Buffer.add_string buf (Fmt.str "%a" Plan.pp_indented a.plan);
+  Stdlib.Buffer.add_string buf "per wrapper subquery (estimated vs measured TotalTime, ms):\n";
+  List.iter
+    (fun (r : History.record) ->
+      let real =
+        Option.value ~default:0.
+          (List.assoc_opt Disco_costlang.Ast.Total_time r.History.measured)
+      in
+      Stdlib.Buffer.add_string buf
+        (Fmt.str "  %-10s %10.1f %10.1f  (%+.0f%%)  %s\n" r.History.source
+           r.History.estimated_total real
+           (100. *. (r.History.estimated_total -. real) /. Float.max real 1e-9)
+           (Plan.to_string r.History.plan)))
+    new_records;
+  let est_total = Estimator.total_time a.estimate in
+  Stdlib.Buffer.add_string buf
+    (Fmt.str "overall: estimated %.1f ms, measured %.1f ms (%+.0f%%), %d rows\n"
+       est_total a.measured.Run.total_time
+       (100. *. (est_total -. a.measured.Run.total_time)
+        /. Float.max a.measured.Run.total_time 1e-9)
+       (List.length a.rows));
+  Stdlib.Buffer.contents buf

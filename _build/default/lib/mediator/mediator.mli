@@ -1,0 +1,105 @@
+(** The mediator facade: registration phase (paper Fig 1) and query
+    processing phase (Fig 2).
+
+    {!register} uploads a wrapper's schemas, statistics and cost rules into
+    the catalog and rule registry; {!run_query} parses a declarative query,
+    optimizes it under the blended cost model, executes the chosen plan —
+    submitting subplans to wrappers and composing their answers — and feeds
+    measured costs back into the historical-cost extension. *)
+
+open Disco_catalog
+open Disco_algebra
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+open Disco_sql
+
+type t
+
+val create : ?calibration:Generic.calibration -> ?history_mode:History.mode -> unit -> t
+(** A fresh mediator with its generic cost model installed. *)
+
+val registry : t -> Registry.t
+val catalog : t -> Catalog.t
+val history : t -> History.t
+
+val register : t -> Wrapper.t -> unit
+(** The registration phase: the wrapper returns schemas, statistics and cost
+    information; the mediator compiles and stores them. Re-registering a
+    wrapper refreshes its statistics. *)
+
+val find_wrapper : t -> string -> Wrapper.t
+(** @raise Disco_common.Err.Unknown_source when absent. *)
+
+(** {1 Query resolution} *)
+
+(** A resolved query: the optimizer spec plus the mediator-side decoration. *)
+type resolved = {
+  spec : Optimizer.spec;
+  post_pred : Pred.t;        (** residual mediator-side predicate *)
+  deferrable : (string * Pred.t) list;
+      (** expensive (ADT) single-relation predicates whose placement —
+          pushed to the wrapper or deferred past the joins — is decided by
+          cost (paper §7) *)
+  items : Sql.item list;
+  star : bool;
+  star_attrs : string list;
+  distinct : bool;
+  group_by : string list;
+  order_by : (string * Plan.order) list;
+  limit : int option;
+}
+
+val resolve : t -> Sql.t -> resolved
+(** Resolve relations to sources, qualify attribute references, partition the
+    WHERE clause into pushed selections / join predicates / residual, and
+    compute per-relation width projections.
+    @raise Disco_common.Err.Plan_error on unknown or ambiguous names. *)
+
+val variants : resolved -> resolved list
+(** The placement alternatives for deferrable (ADT) predicates: pushed into
+    their base relation's selection, or evaluated at the mediator after the
+    joins. A single element when the query has none. *)
+
+val decorate : resolved -> Plan.t -> Plan.t
+(** Wrap an optimized join tree with the mediator-side decoration: residual
+    predicate, aggregation or projection, dedup, sort. *)
+
+val plan_of_variant : ?objective:Optimizer.objective -> t -> resolved -> Plan.t
+(** Optimize one resolved variant into a complete decorated plan. *)
+
+val plan_query : ?objective:Optimizer.objective -> t -> string -> Plan.t * float
+(** Parse, resolve and optimize; returns the full plan and its estimated cost
+    under the objective (TotalTime by default, TimeFirst for interactive
+    first-answer latency). *)
+
+(** {1 Execution} *)
+
+val mediator_run_env : t -> Run.env
+(** The mediator's composition engine (in-memory, hash equi-joins), with the
+    ADT implementations shipped by the registered wrappers. *)
+
+val to_physical : t -> Plan.t -> Disco_exec.Physical.t
+(** Execute all [submit] subtrees in their wrappers (charging communication
+    per the wrapper's network and feeding history) and translate the
+    remaining composition operators; the result runs under
+    {!mediator_env}. *)
+
+type answer = {
+  rows : Tuple.t list;
+  plan : Plan.t;
+  estimate : Estimator.ann;
+  measured : Run.vector;
+}
+
+val run_query : ?objective:Optimizer.objective -> t -> string -> answer
+(** The full query-processing phase of Fig 2. *)
+
+val explain : t -> string -> string
+(** The chosen plan plus per-node cost estimates annotated with the scope of
+    the rule that produced each. *)
+
+val analyze : ?objective:Optimizer.objective -> t -> string -> string
+(** EXPLAIN ANALYZE: execute the query and report estimated vs measured cost,
+    per wrapper subquery and overall — the feedback an administrator uses to
+    decide which wrappers need better cost rules. *)

@@ -1,0 +1,332 @@
+(* The mediator query optimizer (paper §2.2): enumerates access plans —
+   join orders (bushy, via dynamic programming over connected subsets) and
+   operator placement (wrapper-side subtrees under [submit] vs mediator-side
+   composition) — and selects the plan with the lowest estimated TotalTime
+   under the blended cost model.
+
+   [enumerate] exhaustively generates complete plans (used by the validation
+   benches, in particular the branch-and-bound ablation of §4.3.2);
+   [optimize] is the DP used during normal query processing. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_core
+
+(* One base relation of the query, with the selection pushed onto it and the
+   attributes the rest of the query needs from it. The capability flags come
+   from the wrapper's registration (paper §2.1): when a source cannot execute
+   an operator, the mediator compensates on its side. *)
+type base = {
+  ref_ : Plan.collection_ref;
+  pred : Pred.t;                  (* local selection; True if none *)
+  project : string list option;   (* None: keep all attributes *)
+  can_select : bool;
+  can_project : bool;
+}
+
+type spec = {
+  bases : base list;
+  (* join predicates, each connecting two aliases *)
+  joins : (string * string * Pred.t) list;
+  (* whether a source can execute joins (capability, paper §2.1) *)
+  can_join : string -> bool;
+}
+
+module Aliases = Set.Make (String)
+
+(* Plan for one base relation, as executed inside its wrapper — only the
+   operators the wrapper is capable of. *)
+let base_plan (b : base) : Plan.t =
+  let scan = Plan.Scan b.ref_ in
+  let selected =
+    if b.can_select && not (Pred.equal b.pred Pred.True) then
+      Plan.Select (scan, b.pred)
+    else scan
+  in
+  match b.project with
+  | Some attrs when b.can_project -> Plan.Project (selected, attrs)
+  | _ -> selected
+
+(* The part of the base selection the wrapper cannot execute: applied by the
+   mediator, above the submit. *)
+let base_residual (b : base) : Pred.t = if b.can_select then Pred.True else b.pred
+
+(* A single base relation as a complete mediator-side plan: submit the
+   wrapper-capable part, apply the residual above. *)
+let submit_base (b : base) : Plan.t =
+  let p = Plan.Submit (b.ref_.Plan.source, base_plan b) in
+  let residual = base_residual b in
+  if Pred.equal residual Pred.True then p else Plan.Select (p, residual)
+
+(* Join predicates of [spec] crossing between alias sets [s1] and [s2]. *)
+let connecting spec s1 s2 =
+  List.filter_map
+    (fun (a, b, p) ->
+      if
+        (Aliases.mem a s1 && Aliases.mem b s2)
+        || (Aliases.mem a s2 && Aliases.mem b s1)
+      then Some p
+      else None)
+    spec.joins
+
+(* A candidate subplan during enumeration: either still inside one wrapper
+   (unwrapped), or already a mediator-side plan whose leaves are submits. *)
+type site = At_source of string | At_mediator
+
+type candidate = {
+  plan : Plan.t;
+  site : site;
+  aliases : Aliases.t;
+  (* selection a capability-limited wrapper could not execute; applied by the
+     mediator right above the submit *)
+  residual : Pred.t;
+}
+
+let wrap (c : candidate) : candidate =
+  match c.site with
+  | At_mediator -> c
+  | At_source s ->
+    let p = Plan.Submit (s, c.plan) in
+    let p =
+      if Pred.equal c.residual Pred.True then p else Plan.Select (p, c.residual)
+    in
+    { plan = p; site = At_mediator; aliases = c.aliases; residual = Pred.True }
+
+(* Combine two disjoint candidates with a join, in both orientations (join
+   costs are asymmetric: the inner input may be probed via an index).
+   Wrapper-side joins are only possible when both sides live in the same
+   source. *)
+let combine spec (l : candidate) (r : candidate) : candidate list =
+  let preds = connecting spec l.aliases r.aliases in
+  if preds = [] then []
+  else
+    let pred = Pred.conj preds in
+    let aliases = Aliases.union l.aliases r.aliases in
+    let mediator_side =
+      let l' = wrap l and r' = wrap r in
+      [ { plan = Plan.Join (l'.plan, r'.plan, pred);
+          site = At_mediator;
+          aliases;
+          residual = Pred.True };
+        { plan = Plan.Join (r'.plan, l'.plan, pred);
+          site = At_mediator;
+          aliases;
+          residual = Pred.True } ]
+    in
+    match l.site, r.site with
+    | At_source s1, At_source s2 when String.equal s1 s2 && spec.can_join s1 ->
+      let residual = Pred.conj (Pred.conjuncts l.residual @ Pred.conjuncts r.residual) in
+      { plan = Plan.Join (l.plan, r.plan, pred); site = At_source s1; aliases; residual }
+      :: { plan = Plan.Join (r.plan, l.plan, pred); site = At_source s1; aliases; residual }
+      :: mediator_side
+    | _ -> mediator_side
+
+(* All non-empty proper splits of a list (first element pinned to the left
+   side, avoiding mirror duplicates). *)
+let splits = function
+  | [] | [ _ ] -> []
+  | first :: rest ->
+    let n = List.length rest in
+    let all = ref [] in
+    for mask = 0 to (1 lsl n) - 1 do
+      let left = ref [ first ] and right = ref [] in
+      List.iteri
+        (fun i x -> if mask land (1 lsl i) <> 0 then left := x :: !left else right := x :: !right)
+        rest;
+      if !right <> [] then all := (List.rev !left, List.rev !right) :: !all
+    done;
+    !all
+
+(* --- Exhaustive enumeration ------------------------------------------------- *)
+
+(* All complete mediator-side plans joining every base (small N only). *)
+let enumerate (spec : spec) : Plan.t list =
+  let rec gen (bs : base list) : candidate list =
+    match bs with
+    | [] -> []
+    | [ b ] ->
+      [ { plan = base_plan b;
+          site = At_source b.ref_.Plan.source;
+          aliases = Aliases.singleton b.ref_.Plan.binding;
+          residual = base_residual b } ]
+    | _ ->
+      List.concat_map
+        (fun (lbs, rbs) ->
+          List.concat_map
+            (fun l -> List.concat_map (fun r -> combine spec l r) (gen rbs))
+            (gen lbs))
+        (splits bs)
+  in
+  match spec.bases with
+  | [] -> []
+  | [ b ] -> [ submit_base b ]
+  | bs ->
+    let complete = gen bs in
+    List.filter_map
+      (fun c ->
+        if Aliases.cardinal c.aliases = List.length bs then Some (wrap c).plan
+        else None)
+      complete
+
+(* --- Cost-based selection ---------------------------------------------------- *)
+
+type stats = {
+  mutable plans_considered : int;
+  mutable plans_aborted : int;
+  mutable formula_evals : int;
+}
+
+let new_stats () = { plans_considered = 0; plans_aborted = 0; formula_evals = 0 }
+
+(* What the optimizer minimizes: the time to the complete answer, or the
+   time to the first object (the paper's TimeFirst — interactive clients).
+   Pipelined strategies (index joins) tend to win the latter; blocking ones
+   (mediator hash joins, sorts) the former. *)
+type objective = Total_time | First_tuple
+
+let objective_var = function
+  | Total_time -> Disco_costlang.Ast.Total_time
+  | First_tuple -> Disco_costlang.Ast.Time_first
+
+(* Estimate a complete plan; [bound] enables the early-abort heuristic of
+   §4.3.2 (TotalTime objective only — TimeFirst is not monotone along the
+   tree). Returns [None] when aborted. *)
+let cost_of ?bound ?(objective = Total_time) registry (stats : stats)
+    (plan : Plan.t) : float option =
+  stats.plans_considered <- stats.plans_considered + 1;
+  let evals = ref 0 in
+  let bound = match objective with Total_time -> bound | First_tuple -> None in
+  let result =
+    try
+      let ann =
+        Estimator.estimate ?abort_above:bound ~evals
+          ~require_vars:[ objective_var objective ] registry plan
+      in
+      Some (Option.get (Estimator.var ann (objective_var objective)))
+    with Estimator.Aborted ->
+      stats.plans_aborted <- stats.plans_aborted + 1;
+      None
+  in
+  stats.formula_evals <- stats.formula_evals + !evals;
+  result
+
+(* Pick the cheapest plan from an explicit list, optionally with
+   branch-and-bound pruning. *)
+let choose ?(prune = true) ?(objective = Total_time) registry ?stats
+    (plans : Plan.t list) : (Plan.t * float) option =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  List.fold_left
+    (fun best plan ->
+      let bound = if prune then Option.map snd best else None in
+      match cost_of ?bound ~objective registry stats plan with
+      | None -> best
+      | Some cost ->
+        (match best with
+         | Some (_, c) when c <= cost -> best
+         | _ -> Some (plan, cost)))
+    None plans
+
+(* --- Dynamic programming ------------------------------------------------------ *)
+
+module Key = struct
+  type t = string list (* sorted aliases *)
+
+  let of_aliases s = List.sort String.compare (Aliases.elements s)
+end
+
+(* DP over alias subsets: for each subset keep the best candidate per site
+   (one per source for unwrapped plans, one mediator-side). *)
+let optimize ?(objective = Total_time) registry (spec : spec) : Plan.t * float =
+  if spec.bases = [] then raise (Err.Plan_error "query has no relations");
+  let stats = new_stats () in
+  let cost plan =
+    match cost_of ~objective registry stats plan with
+    | Some c -> c
+    | None -> infinity
+  in
+  let table : (Key.t, candidate list) Hashtbl.t = Hashtbl.create 64 in
+  let put (c : candidate) =
+    let key = Key.of_aliases c.aliases in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
+    (* keep at most one candidate per site *)
+    let same_site (x : candidate) =
+      match x.site, c.site with
+      | At_mediator, At_mediator -> true
+      | At_source a, At_source b -> String.equal a b
+      | _ -> false
+    in
+    match List.find_opt same_site existing with
+    | Some old when cost old.plan <= cost c.plan -> ()
+    | Some old ->
+      Hashtbl.replace table key (c :: List.filter (fun x -> x != old) existing)
+    | None -> Hashtbl.replace table key (c :: existing)
+  in
+  (* singletons *)
+  List.iter
+    (fun b ->
+      let c =
+        { plan = base_plan b;
+          site = At_source b.ref_.Plan.source;
+          aliases = Aliases.singleton b.ref_.Plan.binding;
+          residual = base_residual b }
+      in
+      put c;
+      put (wrap c))
+    spec.bases;
+  (* grow subsets by size *)
+  let aliases = List.map (fun b -> b.ref_.Plan.binding) spec.bases in
+  let n = List.length aliases in
+  let alias_arr = Array.of_list aliases in
+  let subsets_of_size k =
+    let out = ref [] in
+    let rec go i chosen count =
+      if count = k then out := List.rev chosen :: !out
+      else if i < n then begin
+        go (i + 1) (alias_arr.(i) :: chosen) (count + 1);
+        if n - i - 1 >= k - count then go (i + 1) chosen count
+      end
+    in
+    go 0 [] 0;
+    !out
+  in
+  for size = 2 to n do
+    List.iter
+      (fun subset ->
+        let subset_set = Aliases.of_list subset in
+        (* all splits into two non-empty disjoint halves *)
+        List.iter
+          (fun (left, right) ->
+            let lkey = Key.of_aliases (Aliases.of_list left)
+            and rkey = Key.of_aliases (Aliases.of_list right) in
+            match Hashtbl.find_opt table lkey, Hashtbl.find_opt table rkey with
+            | Some ls, Some rs ->
+              List.iter
+                (fun l ->
+                  List.iter
+                    (fun r -> List.iter put (combine spec l r))
+                    rs)
+                ls
+            | _ -> ())
+          (splits subset);
+        ignore subset_set)
+      (subsets_of_size size)
+  done;
+  let full = Key.of_aliases (Aliases.of_list aliases) in
+  match Hashtbl.find_opt table full with
+  | None | Some [] ->
+    raise
+      (Err.Plan_error
+         "no complete plan found (disconnected join graph without cross joins)")
+  | Some cands ->
+    let wrapped = List.map wrap cands in
+    (match
+       List.fold_left
+         (fun best c ->
+           let cst = cost c.plan in
+           match best with
+           | Some (_, b) when b <= cst -> best
+           | _ -> Some (c.plan, cst))
+         None wrapped
+     with
+     | Some result -> result
+     | None -> assert false)

@@ -1,0 +1,81 @@
+(** The mediator query optimizer (paper §2.2): enumerates access plans — join
+    orders (bushy, both orientations) and operator placement (wrapper-side
+    subtrees under [submit] vs mediator-side composition) — and selects the
+    plan with the lowest estimated TotalTime under the blended cost model.
+
+    {!enumerate} exhaustively generates complete plans (used by the
+    validation benches, in particular the branch-and-bound ablation of
+    §4.3.2); {!optimize} is the subset-DP used during normal query
+    processing. *)
+
+open Disco_algebra
+open Disco_core
+
+(** One base relation of the query, with its selection pushed down and the
+    attributes the rest of the query needs from it. The capability flags come
+    from the wrapper's registration (paper §2.1). *)
+type base = {
+  ref_ : Plan.collection_ref;
+  pred : Pred.t;                 (** local selection; [True] if none *)
+  project : string list option;  (** [None]: keep all attributes *)
+  can_select : bool;
+  can_project : bool;
+}
+
+type spec = {
+  bases : base list;
+  joins : (string * string * Pred.t) list;
+      (** join predicates, each connecting two aliases *)
+  can_join : string -> bool;
+      (** whether a source can execute joins (capability, paper §2.1) *)
+}
+
+val base_plan : base -> Plan.t
+(** The wrapper-side plan of one base relation (scan, pushed selection,
+    width projection) — restricted to the operators the wrapper supports. *)
+
+val base_residual : base -> Pred.t
+(** The part of the base selection a capability-limited wrapper cannot
+    execute; the mediator applies it above the submit. *)
+
+val submit_base : base -> Plan.t
+(** A single base relation as a complete mediator-side plan: submit the
+    wrapper-capable part and apply the residual above it. *)
+
+val enumerate : spec -> Plan.t list
+(** All complete mediator-side plans joining every base (exponential — small
+    queries only). No cross products: a disconnected join graph yields plans
+    only for the connected parts, and none overall. *)
+
+(** Counters filled during cost-based selection, for the T5 ablation. *)
+type stats = {
+  mutable plans_considered : int;
+  mutable plans_aborted : int;
+  mutable formula_evals : int;
+}
+
+val new_stats : unit -> stats
+
+(** What the optimizer minimizes: the time to the complete answer (default),
+    or the time to the first object (the paper's TimeFirst — interactive
+    clients). Pipelined strategies tend to win the latter; blocking ones
+    (hash joins, sorts) the former. *)
+type objective = Total_time | First_tuple
+
+val cost_of :
+  ?bound:float -> ?objective:objective -> Registry.t -> stats -> Plan.t ->
+  float option
+(** Estimated cost of a complete plan under the objective; [bound] enables
+    the early-abort heuristic of §4.3.2 (TotalTime only) and [None] reports
+    an abort. *)
+
+val choose :
+  ?prune:bool -> ?objective:objective -> Registry.t -> ?stats:stats ->
+  Plan.t list -> (Plan.t * float) option
+(** Cheapest plan of an explicit list, with branch-and-bound pruning against
+    the best cost so far (default on). *)
+
+val optimize : ?objective:objective -> Registry.t -> spec -> Plan.t * float
+(** Dynamic programming over alias subsets, keeping the best candidate per
+    site (one per source for unwrapped subplans, one mediator-side).
+    @raise Disco_common.Err.Plan_error on an empty or disconnected query. *)

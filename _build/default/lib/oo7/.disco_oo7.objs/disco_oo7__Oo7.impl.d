@@ -1,0 +1,1 @@
+lib/oo7/oo7.ml: Array Buffer Constant Costs Disco_algebra Disco_catalog Disco_common Disco_exec Disco_storage Disco_wrapper Fmt Fun List Plan Pred Rng Schema Table

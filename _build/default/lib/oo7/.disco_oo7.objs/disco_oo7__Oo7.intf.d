@@ -1,0 +1,1 @@
+lib/oo7/oo7.mli: Disco_algebra Disco_catalog Disco_storage Disco_wrapper Schema Table

@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Array Constant Disco_algebra Disco_common Disco_costlang Err Float Fmt Lexer List Option Plan Pred String

@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Disco_algebra Plan Pred

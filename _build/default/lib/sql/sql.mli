@@ -1,0 +1,49 @@
+(** The client query language: a small object/relational SQL subset (paper
+    §2.2).
+
+    {v
+    SELECT [DISTINCT] item, ...
+    FROM [source.]Collection [AS] alias, ...
+    [WHERE cond {AND|OR} cond ...]
+    [GROUP BY attr, ...]
+    [ORDER BY attr [ASC|DESC], ...]
+    [LIMIT n]
+    v}
+
+    Items are attributes ([alias.attr] or bare [attr]), [*], or aggregates
+    ([sum(e.salary) AS total], count-star). Conditions compare an attribute
+    with a constant or another attribute, with [AND]/[OR]/[NOT] and
+    parentheses. Bare attribute names are resolved against the registered
+    schemas by the mediator. *)
+
+open Disco_algebra
+
+type relation = {
+  rel_source : string option;  (** [None]: resolved from the catalog *)
+  rel_collection : string;
+  rel_alias : string;
+}
+
+type item =
+  | Col of string
+      (** a possibly-qualified attribute *)
+  | Agg of Plan.agg_fun * string * string
+      (** function, input attribute ([""] for count-star), output name *)
+
+type t = {
+  distinct : bool;
+  star : bool;
+  items : item list;  (** empty when [star] *)
+  relations : relation list;
+  where : Pred.t;
+  group_by : string list;
+  order_by : (string * Plan.order) list;
+  limit : int option;
+}
+
+val parse : ?what:string -> string -> t
+(** @raise Disco_common.Err.Parse_error with positions on malformed input.
+    Keywords are case-insensitive; a trailing [;] is tolerated. *)
+
+val aliases : t -> string list
+(** Aliases in FROM order. *)

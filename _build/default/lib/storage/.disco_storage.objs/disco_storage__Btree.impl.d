@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Cmp Constant Disco_common List

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Btree Constant Disco_catalog Disco_common Err List Schema Stats

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Btree Constant Disco_catalog Disco_common Schema Stats

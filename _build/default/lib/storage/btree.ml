@@ -1,0 +1,94 @@
+(* A secondary index: keys in sorted order, each with the record ids of the
+   matching objects. Implemented as a sorted array with binary search —
+   behaviourally equivalent to a B-tree for our simulation purposes; the
+   probe cost (tree descent) is charged by the executor. *)
+
+open Disco_common
+
+type rid = { page : int; slot : int }
+
+type t = {
+  keys : Constant.t array;        (* sorted, distinct *)
+  rids : rid list array;          (* postings per key *)
+  height : int;                   (* simulated tree height, for probe cost *)
+}
+
+let height_of n =
+  (* fanout-128 tree *)
+  let rec go h cap = if cap >= n || h > 8 then h else go (h + 1) (cap * 128) in
+  go 1 128
+
+let build (entries : (Constant.t * rid) list) : t =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Constant.compare a b) entries
+  in
+  let rec group acc current_key current_rids = function
+    | [] ->
+      (match current_key with
+       | None -> List.rev acc
+       | Some k -> List.rev ((k, List.rev current_rids) :: acc))
+    | (k, r) :: rest ->
+      (match current_key with
+       | None -> group acc (Some k) [ r ] rest
+       | Some ck when Constant.compare ck k = 0 ->
+         group acc current_key (r :: current_rids) rest
+       | Some ck -> group ((ck, List.rev current_rids) :: acc) (Some k) [ r ] rest)
+  in
+  let grouped = group [] None [] sorted in
+  { keys = Array.of_list (List.map fst grouped);
+    rids = Array.of_list (List.map snd grouped);
+    height = height_of (List.length grouped) }
+
+let key_count t = Array.length t.keys
+
+(* Index of the first key >= [k] (length if none). *)
+let lower_bound t k =
+  let lo = ref 0 and hi = ref (Array.length t.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Constant.compare t.keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of the first key > [k]. *)
+let upper_bound t k =
+  let lo = ref 0 and hi = ref (Array.length t.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Constant.compare t.keys.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let lookup t k =
+  let i = lower_bound t k in
+  if i < Array.length t.keys && Constant.compare t.keys.(i) k = 0 then t.rids.(i)
+  else []
+
+(* All rids whose key is within the given bounds, in key order. *)
+let range ?lo ?(lo_strict = false) ?hi ?(hi_strict = false) t : rid list =
+  let start =
+    match lo with
+    | None -> 0
+    | Some k -> if lo_strict then upper_bound t k else lower_bound t k
+  in
+  let stop =
+    match hi with
+    | None -> Array.length t.keys
+    | Some k -> if hi_strict then lower_bound t k else upper_bound t k
+  in
+  let acc = ref [] in
+  for i = stop - 1 downto start do
+    acc := t.rids.(i) @ !acc
+  done;
+  !acc
+
+(* Rids satisfying a comparison against [k], in key order. *)
+let search t (op : Cmp.t) k =
+  match op with
+  | Cmp.Eq -> lookup t k
+  | Lt -> range ~hi:k ~hi_strict:true t
+  | Le -> range ~hi:k t
+  | Gt -> range ~lo:k ~lo_strict:true t
+  | Ge -> range ~lo:k t
+  | Ne ->
+    range ~hi:k ~hi_strict:true t @ range ~lo:k ~lo_strict:true t

@@ -1,0 +1,40 @@
+(** A secondary index: keys in sorted order, each with the record ids of the
+    matching objects. Implemented as a sorted array with binary search —
+    behaviourally equivalent to a B-tree for simulation purposes; the probe
+    cost (tree descent, {!field-height} levels) is charged by the executor. *)
+
+open Disco_common
+
+type rid = { page : int; slot : int }
+(** A record id: page number and slot within the page. *)
+
+type t = {
+  keys : Constant.t array;   (** sorted, distinct *)
+  rids : rid list array;     (** postings per key *)
+  height : int;              (** simulated tree height, for probe cost *)
+}
+
+val height_of : int -> int
+(** Height of a fanout-128 tree over [n] distinct keys. *)
+
+val build : (Constant.t * rid) list -> t
+
+val key_count : t -> int
+
+val lower_bound : t -> Constant.t -> int
+(** Index of the first key [>= k] ([key_count] if none). *)
+
+val upper_bound : t -> Constant.t -> int
+(** Index of the first key [> k]. *)
+
+val lookup : t -> Constant.t -> rid list
+(** Postings of one key (empty if absent). *)
+
+val range :
+  ?lo:Constant.t -> ?lo_strict:bool -> ?hi:Constant.t -> ?hi_strict:bool -> t ->
+  rid list
+(** All rids whose key is within the bounds, in key order. *)
+
+val search : t -> Cmp.t -> Constant.t -> rid list
+(** Rids satisfying [key op k], in key order ([Ne] concatenates the two
+    ranges around [k]). *)

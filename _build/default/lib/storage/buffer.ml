@@ -1,0 +1,66 @@
+(* An LRU buffer pool. The executor routes every page access through it; a
+   miss counts one physical IO. This is what makes repeated accesses to the
+   same page cheaper than the naive one-IO-per-object model.
+
+   LRU is implemented with a lazy-deletion queue: each access pushes a fresh
+   (key, stamp) entry; stale queue entries (whose stamp no longer matches the
+   key's current stamp) are skipped during eviction. Amortized O(1). *)
+
+type key = string * int  (* table name, page number *)
+
+type t = {
+  capacity : int;
+  stamps : (key, int) Hashtbl.t;  (* resident pages -> latest stamp *)
+  queue : (key * int) Queue.t;    (* access order, possibly stale *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  { capacity = max capacity 1;
+    stamps = Hashtbl.create 64;
+    queue = Queue.create ();
+    hits = 0;
+    misses = 0;
+    clock = 0 }
+
+let clear t =
+  Hashtbl.reset t.stamps;
+  Queue.clear t.queue;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.clock <- 0
+
+let touch t key =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.stamps key t.clock;
+  Queue.push (key, t.clock) t.queue
+
+let rec evict_lru t =
+  match Queue.take_opt t.queue with
+  | None -> ()
+  | Some (key, stamp) ->
+    (match Hashtbl.find_opt t.stamps key with
+     | Some current when current = stamp -> Hashtbl.remove t.stamps key
+     | _ -> evict_lru t (* stale entry *))
+
+(* Access a page; returns [true] when the access missed (one IO for the
+   caller to charge). *)
+let access t ~table ~page : bool =
+  let key = (table, page) in
+  if Hashtbl.mem t.stamps key then begin
+    t.hits <- t.hits + 1;
+    touch t key;
+    false
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.stamps >= t.capacity then evict_lru t;
+    touch t key;
+    true
+  end
+
+let resident t = Hashtbl.length t.stamps
+let hits t = t.hits
+let misses t = t.misses

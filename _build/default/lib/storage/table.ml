@@ -1,0 +1,117 @@
+(* A stored collection: fixed-size objects packed into pages, optionally
+   clustered on one attribute, with secondary B-tree indexes. This is the
+   simulated stand-in for the paper's data sources (ObjectStore et al.);
+   object placement across pages is what makes index-scan costs follow Yao's
+   formula rather than the linear calibrated model. *)
+
+open Disco_common
+open Disco_catalog
+
+type tuple = Constant.t array
+
+type t = {
+  name : string;
+  schema : Schema.collection;
+  pages : tuple array array;      (* page -> slot -> object *)
+  object_size : int;              (* bytes per object *)
+  page_size : int;
+  fill : float;
+  indexes : (string * Btree.t) list;  (* attribute -> index *)
+  clustered_on : string option;
+  count : int;
+}
+
+let attr_pos t name =
+  match Schema.attr_index t.schema name with
+  | Some i -> i
+  | None ->
+    raise (Err.Unknown_attribute { collection = t.name; attribute = name })
+
+let objects_per_page ~page_size ~fill ~object_size =
+  max 1 (int_of_float (float_of_int page_size *. fill) / object_size)
+
+(* Build a table from rows. Rows are paged in the given order (callers
+   shuffle beforehand for random placement) unless [cluster_on] asks for
+   clustering, in which case rows are sorted by that attribute first. *)
+let create ~name ~schema ?(page_size = 4096) ?(fill = 0.96) ~object_size ?cluster_on
+    ?(index_on = []) (rows : tuple list) : t =
+  let rows =
+    match cluster_on with
+    | None -> rows
+    | Some attr ->
+      let pos =
+        match Schema.attr_index schema attr with
+        | Some i -> i
+        | None -> raise (Err.Unknown_attribute { collection = name; attribute = attr })
+      in
+      List.sort (fun a b -> Constant.compare a.(pos) b.(pos)) rows
+  in
+  let per_page = objects_per_page ~page_size ~fill ~object_size in
+  let arr = Array.of_list rows in
+  let count = Array.length arr in
+  let n_pages = (count + per_page - 1) / per_page in
+  let pages =
+    Array.init (max n_pages 0) (fun p ->
+        let base = p * per_page in
+        Array.init (min per_page (count - base)) (fun s -> arr.(base + s)))
+  in
+  let index_of attr =
+    let pos =
+      match Schema.attr_index schema attr with
+      | Some i -> i
+      | None -> raise (Err.Unknown_attribute { collection = name; attribute = attr })
+    in
+    let entries = ref [] in
+    Array.iteri
+      (fun p page ->
+        Array.iteri
+          (fun s row ->
+            entries := (row.(pos), { Btree.page = p; slot = s }) :: !entries)
+          page)
+      pages;
+    (attr, Btree.build !entries)
+  in
+  { name;
+    schema;
+    pages;
+    object_size;
+    page_size;
+    fill;
+    indexes = List.map index_of index_on;
+    clustered_on = cluster_on;
+    count }
+
+let page_count t = Array.length t.pages
+let count t = t.count
+let total_size t = t.count * t.object_size
+
+let fetch t (rid : Btree.rid) : tuple = t.pages.(rid.Btree.page).(rid.Btree.slot)
+
+let index t attr = List.assoc_opt attr t.indexes
+let has_index t attr = List.mem_assoc attr t.indexes
+
+let iter_pages t f = Array.iteri f t.pages
+
+(* All rows, in storage order. *)
+let rows t =
+  Array.to_list t.pages |> List.concat_map (fun p -> Array.to_list p)
+
+let column t attr =
+  let pos = attr_pos t attr in
+  List.map (fun row -> row.(pos)) (rows t)
+
+(* --- Statistics export (the wrapper's cardinality methods, paper §3.2) --- *)
+
+let extent_stats t : Stats.extent =
+  Stats.extent ~count_objects:t.count ~total_size:(total_size t)
+    ~object_size:t.object_size
+
+let attribute_stats t attr : Stats.attribute =
+  let values = column t attr in
+  Stats.attribute_of_values ~indexed:(has_index t attr) values
+
+let all_attribute_stats t =
+  List.map
+    (fun (a : Schema.attribute) ->
+      (a.Schema.attr_name, attribute_stats t a.Schema.attr_name))
+    t.schema.Schema.attributes

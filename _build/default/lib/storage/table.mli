@@ -1,0 +1,66 @@
+(** A stored collection: fixed-size objects packed into pages, optionally
+    clustered on one attribute, with secondary B-tree indexes. This is the
+    simulated stand-in for the paper's data sources; object placement across
+    pages is what makes index-scan costs follow Yao's formula rather than the
+    linear calibrated model. *)
+
+open Disco_common
+open Disco_catalog
+
+type tuple = Constant.t array
+
+type t = {
+  name : string;
+  schema : Schema.collection;
+  pages : tuple array array;  (** page -> slot -> object *)
+  object_size : int;          (** bytes per object *)
+  page_size : int;
+  fill : float;
+  indexes : (string * Btree.t) list;
+  clustered_on : string option;
+  count : int;
+}
+
+val attr_pos : t -> string -> int
+(** Position of an attribute in the tuple layout.
+    @raise Disco_common.Err.Unknown_attribute when absent. *)
+
+val objects_per_page : page_size:int -> fill:float -> object_size:int -> int
+(** With the paper's §5 parameters (4096-byte pages, 96 % fill, 56-byte
+    objects) this is 70, giving 1000 pages for 70000 objects. *)
+
+val create :
+  name:string ->
+  schema:Schema.collection ->
+  ?page_size:int ->
+  ?fill:float ->
+  object_size:int ->
+  ?cluster_on:string ->
+  ?index_on:string list ->
+  tuple list ->
+  t
+(** Build a table. Rows are paged in the given order — callers shuffle
+    beforehand for random (unclustered) placement — unless [cluster_on] asks
+    for clustering, in which case rows are sorted by that attribute first. *)
+
+val page_count : t -> int
+val count : t -> int
+val total_size : t -> int
+
+val fetch : t -> Btree.rid -> tuple
+
+val index : t -> string -> Btree.t option
+val has_index : t -> string -> bool
+
+val iter_pages : t -> (int -> tuple array -> unit) -> unit
+
+val rows : t -> tuple list
+(** All rows, in storage order. *)
+
+val column : t -> string -> Constant.t list
+
+(** {1 Statistics export — the wrapper's cardinality methods (paper §3.2)} *)
+
+val extent_stats : t -> Stats.extent
+val attribute_stats : t -> string -> Stats.attribute
+val all_attribute_stats : t -> (string * Stats.attribute) list

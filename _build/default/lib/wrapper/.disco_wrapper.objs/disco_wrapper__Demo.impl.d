@@ -1,0 +1,1 @@
+lib/wrapper/demo.ml: Adt Array Constant Costs Disco_catalog Disco_common Disco_exec Disco_storage List Rng Schema String Table Wrapper

@@ -1,0 +1,1 @@
+lib/wrapper/demo.mli: Disco_catalog Disco_exec Schema Wrapper

@@ -1,0 +1,1 @@
+lib/wrapper/wrapper.ml: Adt Ast Buffer Costs Disco_algebra Disco_catalog Disco_common Disco_costlang Disco_exec Disco_storage Err List Parser Physical Plan Pp Run Schema Stats String Table Tuple

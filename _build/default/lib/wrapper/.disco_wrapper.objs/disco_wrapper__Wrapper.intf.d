@@ -1,0 +1,1 @@
+lib/wrapper/wrapper.mli: Adt Ast Buffer Costs Disco_algebra Disco_costlang Disco_exec Disco_storage Physical Plan Run Table Tuple

@@ -1,0 +1,334 @@
+(* A reproducible federation of four heterogeneous sources, used by tests,
+   examples and benchmarks. Each source exercises a different point of the
+   paper's spectrum of cost-information export (§1: "from nothing to
+   everything"):
+
+   - [relstore] — relational engine; exports *partial* rules (scan and
+     sequential select with its true coefficients; no index or join rules,
+     so the generic model fills in).
+   - [objstore] — ObjectStore-like engine; exports *complete* rules,
+     including the Yao-formula index-scan rule of Fig 13 and an index-join
+     rule.
+   - [files]    — flat-file source; exports *statistics only* (no rules at
+     all): pure generic-model / calibration behaviour.
+   - [web]      — remote source behind a slow network; exports a [submit]
+     rule overriding the mediator's uniform communication assumption. *)
+
+open Disco_common
+open Disco_catalog
+open Disco_storage
+open Disco_exec
+
+let names =
+  [| "Adiba"; "Bancilhon"; "Carey"; "DeWitt"; "Gardarin"; "Naacke"; "Stonebraker";
+     "Tomasic"; "Ullman"; "Valduriez"; "Widom"; "Zdonik" |]
+
+let cities = [| "Paris"; "Versailles"; "Berlin"; "Madrid"; "Roma"; "Wien" |]
+let kinds = [| "research"; "transfer"; "support"; "internal" |]
+let langs = [| "en"; "fr"; "de"; "es" |]
+
+(* --- relstore: Employee + Department -------------------------------------- *)
+
+let employee_schema =
+  Schema.collection "Employee"
+    [ ("id", Schema.Tint);
+      ("dept_id", Schema.Tint);
+      ("salary", Schema.Tint);
+      ("age", Schema.Tint);
+      ("name", Schema.Tstring) ]
+
+let department_schema =
+  Schema.collection "Department"
+    [ ("id", Schema.Tint); ("budget", Schema.Tint); ("city", Schema.Tstring) ]
+
+let make_relstore ~rng ~employees ~departments =
+  let emp_rows =
+    List.init employees (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (1 + Rng.int rng departments);
+           Constant.Int (1000 + (100 * Rng.int rng 291));
+           Constant.Int (20 + Rng.int rng 46);
+           Constant.String (Rng.pick rng names ^ "_" ^ string_of_int i) |])
+  in
+  let emp_arr = Array.of_list emp_rows in
+  Rng.shuffle rng emp_arr;
+  let dept_rows =
+    List.init departments (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (10000 + (1000 * Rng.int rng 500));
+           Constant.String (Rng.pick rng cities) |])
+  in
+  let employee =
+    Table.create ~name:"Employee" ~schema:employee_schema ~object_size:64
+      ~index_on:[ "id"; "dept_id"; "salary" ] (Array.to_list emp_arr)
+  in
+  let department =
+    Table.create ~name:"Department" ~schema:department_schema ~object_size:48
+      ~cluster_on:"id" ~index_on:[ "id" ] dept_rows
+  in
+  (* Partial export: an accurate scan rule with the engine's true
+     coefficients, nothing else — selections, joins etc. fall back to the
+     mediator's generic model on top of the corrected scan cost. Note that
+     exporting a select rule here would *shadow* the generic index-scan
+     strategy (the estimator only evaluates the most specific matching
+     level), so a partial exporter is better off exporting none. *)
+  let rules =
+    {|
+    let IO = 20; let Output = 2; let Startup = 80;
+    let PageSize = 4096; let Fill = 0.96;
+
+    rule scan(C) {
+      CountObject = C.CountObject;
+      TotalSize = C.TotalSize;
+      TimeFirst = Startup + IO;
+      TotalTime = Startup + IO * ceil(C.TotalSize / (PageSize * Fill))
+                  + Output * C.CountObject;
+      TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+    }
+
+    // fast LAN, unlike the mediator's conservative default
+    rule submit(W, C) {
+      CountObject = C.CountObject;
+      TotalSize = C.TotalSize;
+      TimeFirst = 60 + C.TimeFirst + 0.005 * C.ObjectSize;
+      TotalTime = 60 + C.TotalTime + 0.005 * C.TotalSize;
+      TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+    }
+    |}
+  in
+  Wrapper.create ~name:"relstore" ~engine:Costs.relational ~network:Costs.lan
+    ~rules_text:rules
+    [ employee; department ]
+
+(* --- objstore: Project + Task ---------------------------------------------- *)
+
+let project_schema =
+  Schema.collection "Project"
+    [ ("id", Schema.Tint);
+      ("dept_id", Schema.Tint);
+      ("cost", Schema.Tint);
+      ("hours_budget", Schema.Tint);
+      ("kind", Schema.Tstring) ]
+
+let task_schema =
+  Schema.collection "Task"
+    [ ("id", Schema.Tint); ("project_id", Schema.Tint); ("hours", Schema.Tint) ]
+
+(* The complete rule export, including the Yao index-scan formula the paper
+   derives in §5 (Fig 13) and an index-join rule. *)
+let objstore_rules =
+  {|
+  let IO = 25; let Output = 9; let Eval = 0.4; let Startup = 120; let Probe = 12;
+  let PageSize = 4096; let Fill = 0.96;
+  let Huge = 1e18;
+
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = Startup + IO;
+    TotalTime = Startup + IO * ceil(C.TotalSize / (PageSize * Fill))
+                + Output * C.CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+  }
+
+  rule select(C, P) {
+    CountObject = C.CountObject * sel(P);
+    TotalSize = CountObject * C.ObjectSize;
+    TimeFirst = C.TimeFirst + Eval + adtcost(P);
+    TotalTime = C.TotalTime + (Eval + adtcost(P)) * C.CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(CountObject, 1);
+  }
+
+  // Unclustered index scan: Yao page-fetch model (paper Fig 13).
+  rule select(C, P) {
+    CountPage = ceil(C.TotalSize / (PageSize * Fill));
+    CountObject = C.CountObject * sel(P);
+    TimeFirst = if(indexed(P), Startup + 3 * Probe + IO, Huge);
+    TotalTime = if(indexed(P),
+                   Startup + 3 * Probe
+                   + IO * CountPage * yao(C.CountObject, CountPage, CountObject)
+                   + Output * CountObject,
+                   Huge);
+  }
+
+  // Index join: one index probe per outer object; the IO is the number of
+  // distinct inner pages the fetches touch (Yao over the result
+  // cardinality — the buffer pool absorbs repeats). This engine has no
+  // other join method: a non-indexed join is a nested loop the implementor
+  // prices prohibitively (the mediator should compose instead).
+  rule join(C1, C2, P) {
+    CountPage2 = ceil(C2.TotalSize / (PageSize * Fill));
+    CountObject = C1.CountObject * C2.CountObject * sel(P);
+    TotalSize = CountObject * (C1.ObjectSize + C2.ObjectSize);
+    TimeFirst = if(rindexed(P), C1.TimeFirst + 3 * Probe + IO, Huge);
+    TotalTime = if(rindexed(P),
+                   C1.TotalTime + C1.CountObject * 3 * Probe
+                   + IO * CountPage2 * yao(C2.CountObject, CountPage2, CountObject)
+                   + Output * CountObject,
+                   Huge);
+  }
+
+  // fast LAN, unlike the mediator's conservative default
+  rule submit(W, C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = 60 + C.TimeFirst + 0.005 * C.ObjectSize;
+    TotalTime = 60 + C.TotalTime + 0.005 * C.TotalSize;
+    TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+  }
+  |}
+
+let make_objstore ~rng ~projects ~tasks ~departments =
+  let project_rows =
+    List.init projects (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (1 + Rng.int rng departments);
+           Constant.Int (5000 + (500 * Rng.int rng 200));
+           Constant.Int (1 + Rng.int rng 400);
+           Constant.String (Rng.pick rng kinds) |])
+  in
+  let project_arr = Array.of_list project_rows in
+  Rng.shuffle rng project_arr;
+  let task_rows =
+    List.init tasks (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (1 + Rng.int rng projects);
+           Constant.Int (1 + Rng.int rng 400) |])
+  in
+  let task_arr = Array.of_list task_rows in
+  Rng.shuffle rng task_arr;
+  let project =
+    Table.create ~name:"Project" ~schema:project_schema ~object_size:56
+      ~index_on:[ "id"; "dept_id" ] (Array.to_list project_arr)
+  in
+  let task =
+    Table.create ~name:"Task" ~schema:task_schema ~object_size:56
+      ~index_on:[ "id"; "project_id" ] (Array.to_list task_arr)
+  in
+  Wrapper.create ~name:"objstore" ~engine:Costs.objectstore ~network:Costs.lan
+    ~rules_text:objstore_rules
+    [ project; task ]
+
+(* --- files: Document (statistics only, no rules) ---------------------------- *)
+
+let document_schema =
+  Schema.collection "Document"
+    [ ("doc_id", Schema.Tint);
+      ("project_id", Schema.Tint);
+      ("bytes", Schema.Tint);
+      ("lang", Schema.Tstring) ]
+
+(* An expensive abstract-data-type operation (paper §7): language detection
+   over a document — 200 ms per call against fractions of a millisecond for
+   ordinary comparisons. The implementation is shipped to the mediator like
+   cost rules are; the cost and selectivity are exported as [AdtCost_]/
+   [AdtSel_] parameters (even though this wrapper exports no cost rules). *)
+let lang_match =
+  Adt.make ~name:"lang_match" ~cost_ms:200. ~selectivity:0.25 (fun a v ->
+      match a, v with
+      | Constant.String a, Constant.String v ->
+        String.lowercase_ascii a = String.lowercase_ascii v
+      | _ -> false)
+
+let make_files ~rng ~documents ~projects =
+  let rows =
+    List.init documents (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (1 + Rng.int rng projects);
+           Constant.Int (100 + Rng.int rng 100_000);
+           Constant.String (Rng.pick rng langs) |])
+  in
+  let document =
+    Table.create ~name:"Document" ~schema:document_schema ~object_size:80 rows
+  in
+  Wrapper.create ~name:"files" ~engine:Costs.flat_file ~network:Costs.lan
+    ~adts:[ lang_match ]
+    [ document ]
+
+(* --- web: Listing behind a slow network ------------------------------------- *)
+
+let listing_schema =
+  Schema.collection "Listing"
+    [ ("id", Schema.Tint); ("emp_id", Schema.Tint); ("rating", Schema.Tint) ]
+
+(* The wrapper knows its communication is expensive and overrides the
+   mediator's uniform-communication submit rule. *)
+let web_rules =
+  {|
+  // the web source can only deliver whole listings: no server-side
+  // selection, projection or join (paper §2.1 capabilities)
+  capabilities scan;
+
+  let MsgCost = 4000; let ByteCost = 0.08;
+  let IO = 20; let Output = 2; let Eval = 0.15; let Startup = 80;
+  let PageSize = 4096; let Fill = 0.96;
+
+  rule submit(W, C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = MsgCost + C.TimeFirst + ByteCost * C.ObjectSize;
+    TotalTime = MsgCost + C.TotalTime + ByteCost * C.TotalSize;
+    TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+  }
+
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = Startup + IO;
+    TotalTime = Startup + IO * ceil(C.TotalSize / (PageSize * Fill))
+                + Output * C.CountObject;
+    TimeNext = (TotalTime - TimeFirst) / max(C.CountObject, 1);
+  }
+  |}
+
+let make_web ~rng ~listings ~employees =
+  let rows =
+    List.init listings (fun i ->
+        [| Constant.Int (i + 1);
+           Constant.Int (1 + Rng.int rng employees);
+           Constant.Int (1 + Rng.int rng 5) |])
+  in
+  let arr = Array.of_list rows in
+  Rng.shuffle rng arr;
+  let listing =
+    Table.create ~name:"Listing" ~schema:listing_schema ~object_size:32
+      ~index_on:[ "id"; "emp_id" ] (Array.to_list arr)
+  in
+  Wrapper.create ~name:"web" ~engine:Costs.relational ~network:Costs.wan
+    ~rules_text:web_rules
+    [ listing ]
+
+(* --- The federation --------------------------------------------------------- *)
+
+type sizes = {
+  employees : int;
+  departments : int;
+  projects : int;
+  tasks : int;
+  documents : int;
+  listings : int;
+}
+
+let default_sizes =
+  { employees = 8000;
+    departments = 200;
+    projects = 4000;
+    tasks = 20000;
+    documents = 3000;
+    listings = 5000 }
+
+let small_sizes =
+  { employees = 400;
+    departments = 20;
+    projects = 200;
+    tasks = 1000;
+    documents = 150;
+    listings = 250 }
+
+let make ?(seed = 42) ?(sizes = default_sizes) () : Wrapper.t list =
+  let rng = Rng.create ~seed in
+  [ make_relstore ~rng ~employees:sizes.employees ~departments:sizes.departments;
+    make_objstore ~rng ~projects:sizes.projects ~tasks:sizes.tasks
+      ~departments:sizes.departments;
+    make_files ~rng ~documents:sizes.documents ~projects:sizes.projects;
+    make_web ~rng ~listings:sizes.listings ~employees:sizes.employees ]

@@ -1,0 +1,52 @@
+(** A reproducible federation of four heterogeneous sources, used by tests,
+    examples and benchmarks. Each source exercises a different point of the
+    paper's spectrum of cost-information export (§1: "from nothing to
+    everything"):
+
+    - [relstore] — relational engine; exports {e partial} rules (an accurate
+      scan rule and a fast-LAN submit rule; selections and joins fall back to
+      the generic model).
+    - [objstore] — ObjectStore-like engine; exports {e complete} rules,
+      including the Yao-formula index-scan rule of Fig 13 and an index-join
+      rule that prices non-indexed joins prohibitively (this engine has no
+      sort-merge join).
+    - [files] — flat-file source; exports {e statistics only}: pure
+      generic-model / calibration behaviour.
+    - [web] — remote source behind a slow network; exports a [submit] rule
+      overriding the mediator's uniform-communication assumption. *)
+
+open Disco_catalog
+
+val employee_schema : Schema.collection
+val department_schema : Schema.collection
+val project_schema : Schema.collection
+val task_schema : Schema.collection
+val document_schema : Schema.collection
+val listing_schema : Schema.collection
+
+val objstore_rules : string
+(** The complete rule export of the object store. *)
+
+val lang_match : Disco_exec.Adt.t
+(** The files source's expensive ADT operation (200 ms/call language
+    detection, selectivity 0.25), usable in queries as
+    [lang_match(d.lang, "en")]. *)
+
+val web_rules : string
+
+type sizes = {
+  employees : int;
+  departments : int;
+  projects : int;
+  tasks : int;
+  documents : int;
+  listings : int;
+}
+
+val default_sizes : sizes
+val small_sizes : sizes
+(** A reduced data set for tests and examples. *)
+
+val make : ?seed:int -> ?sizes:sizes -> unit -> Wrapper.t list
+(** Generate the federation deterministically: [relstore], [objstore],
+    [files], [web], in that order. *)

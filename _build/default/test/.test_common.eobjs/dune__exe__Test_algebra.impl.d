@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Constant Disco_algebra Disco_common List Plan Pred String

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog Constant Disco_catalog Disco_common Err List QCheck2 QCheck_alcotest Schema Stats

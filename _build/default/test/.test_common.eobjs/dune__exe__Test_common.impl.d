@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Array Cmp Constant Disco_common Fmt Fun List Option QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Constant Disco_algebra Disco_common Disco_sql Err List Plan Pred Sql

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Btree Buffer Cmp Constant Disco_catalog Disco_common Disco_storage Hashtbl List Option QCheck2 QCheck_alcotest Rng Schema Stats Table

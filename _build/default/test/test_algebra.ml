@@ -1,0 +1,190 @@
+(* Tests for lib/algebra: predicates and logical plans. *)
+
+open Disco_common
+open Disco_algebra
+
+let emp = { Plan.source = "s1"; collection = "Employee"; binding = "e" }
+let dep = { Plan.source = "s1"; collection = "Department"; binding = "d" }
+let prj = { Plan.source = "s2"; collection = "Project"; binding = "p" }
+
+let lookup_of (assoc : (string * Constant.t) list) name = List.assoc name assoc
+
+(* --- Pred ------------------------------------------------------------------- *)
+
+let test_pred_eval () =
+  let env = lookup_of [ ("e.salary", Constant.Int 2000); ("e.age", Constant.Int 30) ] in
+  let open Pred in
+  Alcotest.(check bool) "eq true" true (eval env (Cmp ("e.salary", Eq, Constant.Int 2000)));
+  Alcotest.(check bool) "lt false" false (eval env (Cmp ("e.salary", Lt, Constant.Int 2000)));
+  Alcotest.(check bool) "and" true
+    (eval env
+       (And (Cmp ("e.salary", Ge, Constant.Int 2000), Cmp ("e.age", Lt, Constant.Int 40))));
+  Alcotest.(check bool) "or" true
+    (eval env
+       (Or (Cmp ("e.salary", Lt, Constant.Int 0), Cmp ("e.age", Eq, Constant.Int 30))));
+  Alcotest.(check bool) "not" false (eval env (Not True));
+  Alcotest.(check bool) "attr_cmp" false
+    (eval env (Attr_cmp ("e.salary", Eq, "e.age")))
+
+let test_pred_conjuncts () =
+  let open Pred in
+  let a = Cmp ("x", Eq, Constant.Int 1)
+  and b = Cmp ("y", Lt, Constant.Int 2)
+  and c = Cmp ("z", Gt, Constant.Int 3) in
+  Alcotest.(check int) "three conjuncts" 3 (List.length (conjuncts (And (And (a, b), c))));
+  Alcotest.(check int) "true is empty" 0 (List.length (conjuncts True));
+  Alcotest.(check int) "or is atomic" 1 (List.length (conjuncts (Or (a, b))));
+  (* conj of conjuncts round-trips to an equivalent predicate *)
+  let p = And (a, And (b, c)) in
+  let env = lookup_of [ ("x", Constant.Int 1); ("y", Constant.Int 1); ("z", Constant.Int 9) ] in
+  Alcotest.(check bool) "roundtrip equivalence" (eval env p) (eval env (conj (conjuncts p)))
+
+let test_pred_attributes () =
+  let open Pred in
+  let p = And (Cmp ("a", Eq, Constant.Int 1), Attr_cmp ("b", Lt, "c")) in
+  Alcotest.(check (list string)) "attributes" [ "a"; "b"; "c" ] (attributes p)
+
+let test_pred_apply () =
+  let open Pred in
+  let p = Apply ("lang_match", "d.lang", Constant.String "en") in
+  let env = lookup_of [ ("d.lang", Constant.String "en") ] in
+  (* without an implementation, evaluation raises *)
+  Alcotest.(check bool) "no impl raises" true
+    (try
+       ignore (eval env p);
+       false
+     with Disco_common.Err.Eval_error _ -> true);
+  (* with one, it applies *)
+  let apply _ a v = Constant.equal a v in
+  Alcotest.(check bool) "applies" true (eval ~apply env p);
+  Alcotest.(check bool) "inside conjunction" true
+    (eval ~apply env (And (p, True)));
+  Alcotest.(check (list string)) "attributes" [ "d.lang" ] (attributes p);
+  Alcotest.(check (list string)) "operations" [ "lang_match" ] (adt_operations p);
+  Alcotest.(check bool) "has_apply" true (has_apply (And (True, p)));
+  Alcotest.(check bool) "no apply" false (has_apply (Cmp ("x", Eq, Constant.Int 1)));
+  Alcotest.(check bool) "apply equal" true
+    (equal p (Apply ("lang_match", "d.lang", Constant.String "en")));
+  Alcotest.(check bool) "apply not equal" false
+    (equal p (Apply ("other", "d.lang", Constant.String "en")))
+
+let test_pred_equal () =
+  let open Pred in
+  let p = Cmp ("a", Eq, Constant.Int 1) in
+  Alcotest.(check bool) "same" true (equal p (Cmp ("a", Eq, Constant.Int 1)));
+  Alcotest.(check bool) "int/float coercion" true (equal p (Cmp ("a", Eq, Constant.Float 1.)));
+  Alcotest.(check bool) "different op" false (equal p (Cmp ("a", Lt, Constant.Int 1)));
+  Alcotest.(check bool) "different attr" false (equal p (Cmp ("b", Eq, Constant.Int 1)))
+
+(* --- Plan -------------------------------------------------------------------- *)
+
+let sample_plan =
+  Plan.Join
+    ( Plan.Submit
+        ( "s1",
+          Plan.Select (Plan.Scan emp, Pred.Cmp ("e.salary", Pred.Gt, Constant.Int 100)) ),
+      Plan.Submit ("s2", Plan.Scan prj),
+      Pred.Attr_cmp ("e.dept_id", Pred.Eq, "p.dept_id") )
+
+let test_plan_children_size () =
+  Alcotest.(check int) "size" 6 (Plan.size sample_plan);
+  Alcotest.(check int) "join has 2 children" 2 (List.length (Plan.children sample_plan));
+  Alcotest.(check int) "scan has none" 0 (List.length (Plan.children (Plan.Scan emp)))
+
+let test_plan_scans_bindings () =
+  let scans = Plan.scans sample_plan in
+  Alcotest.(check (list string)) "scan collections" [ "Employee"; "Project" ]
+    (List.map (fun r -> r.Plan.collection) scans);
+  Alcotest.(check (list string)) "bindings" [ "e"; "p" ]
+    (List.map fst (Plan.bindings sample_plan))
+
+let test_plan_equal () =
+  Alcotest.(check bool) "reflexive" true (Plan.equal sample_plan sample_plan);
+  Alcotest.(check bool) "different" false (Plan.equal sample_plan (Plan.Scan emp));
+  let other =
+    Plan.Join
+      ( Plan.Submit
+          ( "s1",
+            Plan.Select (Plan.Scan emp, Pred.Cmp ("e.salary", Pred.Gt, Constant.Int 101)) ),
+        Plan.Submit ("s2", Plan.Scan prj),
+        Pred.Attr_cmp ("e.dept_id", Pred.Eq, "p.dept_id") )
+  in
+  Alcotest.(check bool) "differs in constant" false (Plan.equal sample_plan other)
+
+let test_split_attr () =
+  Alcotest.(check (option (pair string string))) "qualified" (Some ("e", "salary"))
+    (Plan.split_attr "e.salary");
+  Alcotest.(check (option (pair string string))) "bare" None (Plan.split_attr "salary")
+
+let test_attr_origin () =
+  match Plan.attr_origin sample_plan "e.salary" with
+  | Some (r, attr) ->
+    Alcotest.(check string) "collection" "Employee" r.Plan.collection;
+    Alcotest.(check string) "attr" "salary" attr
+  | None -> Alcotest.fail "origin not found"
+
+let test_attr_origin_missing () =
+  Alcotest.(check bool) "unknown binding" true
+    (Plan.attr_origin sample_plan "z.salary" = None);
+  Alcotest.(check bool) "bare name" true (Plan.attr_origin sample_plan "salary" = None)
+
+let collection_attrs _ = function
+  | "Employee" -> [ "id"; "salary"; "dept_id" ]
+  | "Department" -> [ "id"; "city" ]
+  | "Project" -> [ "id"; "dept_id" ]
+  | _ -> []
+
+let test_output_attrs () =
+  let attrs = Plan.output_attrs ~collection_attrs sample_plan in
+  Alcotest.(check (list string)) "join output"
+    [ "e.id"; "e.salary"; "e.dept_id"; "p.id"; "p.dept_id" ]
+    attrs;
+  let projected = Plan.Project (sample_plan, [ "e.salary" ]) in
+  Alcotest.(check (list string)) "project restricts" [ "e.salary" ]
+    (Plan.output_attrs ~collection_attrs projected);
+  let agg =
+    Plan.Aggregate
+      ( sample_plan,
+        { Plan.group_by = [ "p.dept_id" ]; aggs = [ (Plan.Sum, "e.salary", "total") ] } )
+  in
+  Alcotest.(check (list string)) "aggregate output" [ "p.dept_id"; "total" ]
+    (Plan.output_attrs ~collection_attrs agg)
+
+let test_submit_sources () =
+  Alcotest.(check (list string)) "sources" [ "s1"; "s2" ] (Plan.submit_sources sample_plan)
+
+(* substring containment, to avoid a dependency *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_plan_pp () =
+  (* rendering goes through without exception and mentions the operators *)
+  let s = Plan.to_string sample_plan in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "join"; "submit"; "select"; "scan" ];
+  (* dep is exercised too *)
+  let u = Plan.to_string (Plan.Union (Plan.Scan dep, Plan.Dedup (Plan.Scan dep))) in
+  Alcotest.(check bool) "union rendered" true (contains u "union")
+
+let () =
+  Alcotest.run "algebra"
+    [ ( "pred",
+        [ Alcotest.test_case "eval" `Quick test_pred_eval;
+          Alcotest.test_case "conjuncts" `Quick test_pred_conjuncts;
+          Alcotest.test_case "attributes" `Quick test_pred_attributes;
+          Alcotest.test_case "ADT apply" `Quick test_pred_apply;
+          Alcotest.test_case "equal" `Quick test_pred_equal ] );
+      ( "plan",
+        [ Alcotest.test_case "children and size" `Quick test_plan_children_size;
+          Alcotest.test_case "scans and bindings" `Quick test_plan_scans_bindings;
+          Alcotest.test_case "structural equality" `Quick test_plan_equal;
+          Alcotest.test_case "split_attr" `Quick test_split_attr;
+          Alcotest.test_case "attr_origin" `Quick test_attr_origin;
+          Alcotest.test_case "attr_origin missing" `Quick test_attr_origin_missing;
+          Alcotest.test_case "output_attrs" `Quick test_output_attrs;
+          Alcotest.test_case "submit_sources" `Quick test_submit_sources;
+          Alcotest.test_case "pretty printing" `Quick test_plan_pp ] ) ]

@@ -1,0 +1,226 @@
+(* Tests for lib/storage: B-tree index, paged tables, LRU buffer pool. *)
+
+open Disco_common
+open Disco_catalog
+open Disco_storage
+
+(* --- Btree -------------------------------------------------------------------- *)
+
+let mk_index entries =
+  Btree.build (List.map (fun (k, p, s) -> (Constant.Int k, { Btree.page = p; slot = s })) entries)
+
+let rid p s = { Btree.page = p; slot = s }
+
+let test_btree_lookup () =
+  let idx = mk_index [ (5, 0, 0); (1, 0, 1); (5, 1, 0); (9, 1, 1) ] in
+  Alcotest.(check int) "key count" 3 (Btree.key_count idx);
+  Alcotest.(check int) "dup postings" 2 (List.length (Btree.lookup idx (Constant.Int 5)));
+  Alcotest.(check int) "single" 1 (List.length (Btree.lookup idx (Constant.Int 1)));
+  Alcotest.(check int) "missing" 0 (List.length (Btree.lookup idx (Constant.Int 7)))
+
+let test_btree_range () =
+  let idx = mk_index (List.init 10 (fun i -> (i, i, 0))) in
+  let range ?lo ?lo_strict ?hi ?hi_strict () =
+    List.map (fun r -> r.Btree.page) (Btree.range ?lo ?lo_strict ?hi ?hi_strict idx)
+  in
+  Alcotest.(check (list int)) "le 3" [ 0; 1; 2; 3 ] (range ~hi:(Constant.Int 3) ());
+  Alcotest.(check (list int)) "lt 3" [ 0; 1; 2 ] (range ~hi:(Constant.Int 3) ~hi_strict:true ());
+  Alcotest.(check (list int)) "ge 7" [ 7; 8; 9 ] (range ~lo:(Constant.Int 7) ());
+  Alcotest.(check (list int)) "gt 7" [ 8; 9 ] (range ~lo:(Constant.Int 7) ~lo_strict:true ());
+  Alcotest.(check (list int)) "between" [ 3; 4 ]
+    (range ~lo:(Constant.Int 3) ~hi:(Constant.Int 5) ~hi_strict:true ());
+  Alcotest.(check int) "all" 10 (List.length (range ()))
+
+let test_btree_search_ops () =
+  let idx = mk_index (List.init 10 (fun i -> (i, i, 0))) in
+  let count op v = List.length (Btree.search idx op (Constant.Int v)) in
+  Alcotest.(check int) "eq" 1 (count Cmp.Eq 4);
+  Alcotest.(check int) "ne" 9 (count Cmp.Ne 4);
+  Alcotest.(check int) "lt" 4 (count Cmp.Lt 4);
+  Alcotest.(check int) "le" 5 (count Cmp.Le 4);
+  Alcotest.(check int) "gt" 5 (count Cmp.Gt 4);
+  Alcotest.(check int) "ge" 6 (count Cmp.Ge 4)
+
+let prop_btree_vs_naive =
+  QCheck2.Test.make ~name:"btree search = naive filter" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60) (int_range 0 20))
+        (pair (int_range (-2) 22) (int_range 0 5)))
+    (fun (keys, (v, opn)) ->
+      let op =
+        match opn with
+        | 0 -> Cmp.Eq
+        | 1 -> Cmp.Ne
+        | 2 -> Cmp.Lt
+        | 3 -> Cmp.Le
+        | 4 -> Cmp.Gt
+        | _ -> Cmp.Ge
+      in
+      let idx = mk_index (List.mapi (fun i k -> (k, i, 0)) keys) in
+      let expected =
+        List.filter (fun k -> Cmp.eval op (Constant.Int k) (Constant.Int v)) keys
+      in
+      List.length (Btree.search idx op (Constant.Int v)) = List.length expected)
+
+let test_btree_rids_in_key_order () =
+  let idx = mk_index [ (3, 30, 0); (1, 10, 0); (2, 20, 0) ] in
+  Alcotest.(check (list int)) "key order" [ 10; 20; 30 ]
+    (List.map (fun r -> r.Btree.page) (Btree.range idx));
+  ignore (rid 0 0)
+
+(* --- Table ------------------------------------------------------------------------ *)
+
+let part_schema =
+  Schema.collection "Part" [ ("id", Schema.Tint); ("weight", Schema.Tint) ]
+
+let mk_table ?cluster_on ?(index_on = []) ?(object_size = 56) n =
+  let rows = List.init n (fun i -> [| Constant.Int (i + 1); Constant.Int (i mod 10) |]) in
+  Table.create ~name:"Part" ~schema:part_schema ~object_size ~page_size:4096 ~fill:0.96
+    ?cluster_on ~index_on rows
+
+let test_table_paging_paper_parameters () =
+  (* the paper's §5 parameters: 56-byte objects, 4096-byte pages, 96% fill
+     -> 70 objects per page; 70000 objects -> 1000 pages *)
+  Alcotest.(check int) "objects per page" 70
+    (Table.objects_per_page ~page_size:4096 ~fill:0.96 ~object_size:56);
+  let t = mk_table 70_000 in
+  Alcotest.(check int) "1000 pages" 1000 (Table.page_count t);
+  Alcotest.(check int) "count" 70_000 (Table.count t);
+  Alcotest.(check int) "total size" (70_000 * 56) (Table.total_size t)
+
+let test_table_fetch_and_rows () =
+  let t = mk_table 100 in
+  Alcotest.(check int) "rows" 100 (List.length (Table.rows t));
+  let r = Table.fetch t { Btree.page = 0; slot = 3 } in
+  Alcotest.(check bool) "fetch slot" true (Constant.equal r.(0) (Constant.Int 4))
+
+let test_table_clustering () =
+  let rows =
+    [ [| Constant.Int 3; Constant.Int 0 |];
+      [| Constant.Int 1; Constant.Int 0 |];
+      [| Constant.Int 2; Constant.Int 0 |] ]
+  in
+  let t =
+    Table.create ~name:"Part" ~schema:part_schema ~object_size:56 ~cluster_on:"id" rows
+  in
+  Alcotest.(check (list bool)) "sorted by id" [ true; true; true ]
+    (List.mapi
+       (fun i row -> Constant.equal row.(0) (Constant.Int (i + 1)))
+       (Table.rows t));
+  Alcotest.(check (option string)) "clustered_on" (Some "id") t.Table.clustered_on
+
+let test_table_indexes () =
+  let t = mk_table ~index_on:[ "id" ] 500 in
+  Alcotest.(check bool) "has id index" true (Table.has_index t "id");
+  Alcotest.(check bool) "no weight index" false (Table.has_index t "weight");
+  let idx = Option.get (Table.index t "id") in
+  (* each rid resolves to the object with the matching key *)
+  let rids = Btree.lookup idx (Constant.Int 123) in
+  Alcotest.(check int) "one match" 1 (List.length rids);
+  let row = Table.fetch t (List.hd rids) in
+  Alcotest.(check bool) "resolves" true (Constant.equal row.(0) (Constant.Int 123))
+
+let test_table_stats () =
+  let t = mk_table ~index_on:[ "id" ] 500 in
+  let e = Table.extent_stats t in
+  Alcotest.(check int) "count" 500 e.Stats.count_objects;
+  let a = Table.attribute_stats t "weight" in
+  Alcotest.(check int) "distinct weights" 10 a.Stats.count_distinct;
+  Alcotest.(check bool) "weight unindexed" false a.Stats.indexed;
+  let id_stats = Table.attribute_stats t "id" in
+  Alcotest.(check bool) "id indexed" true id_stats.Stats.indexed;
+  Alcotest.(check bool) "id max" true (Constant.equal id_stats.Stats.max (Constant.Int 500))
+
+let test_table_unknown_attr () =
+  let t = mk_table 10 in
+  Alcotest.(check bool) "unknown attr raises" true
+    (try
+       ignore (Table.column t "nope");
+       false
+     with Disco_common.Err.Unknown_attribute _ -> true)
+
+(* --- Buffer ------------------------------------------------------------------------- *)
+
+let test_buffer_miss_then_hit () =
+  let b = Buffer.create ~capacity:4 in
+  Alcotest.(check bool) "first access misses" true (Buffer.access b ~table:"t" ~page:0);
+  Alcotest.(check bool) "second access hits" false (Buffer.access b ~table:"t" ~page:0);
+  Alcotest.(check int) "hits" 1 (Buffer.hits b);
+  Alcotest.(check int) "misses" 1 (Buffer.misses b)
+
+let test_buffer_lru_eviction () =
+  let b = Buffer.create ~capacity:2 in
+  ignore (Buffer.access b ~table:"t" ~page:0);
+  ignore (Buffer.access b ~table:"t" ~page:1);
+  ignore (Buffer.access b ~table:"t" ~page:0);  (* 0 is now most recent *)
+  ignore (Buffer.access b ~table:"t" ~page:2);  (* evicts 1 *)
+  Alcotest.(check bool) "0 still resident" false (Buffer.access b ~table:"t" ~page:0);
+  Alcotest.(check bool) "1 evicted" true (Buffer.access b ~table:"t" ~page:1)
+
+let test_buffer_capacity_bound () =
+  let b = Buffer.create ~capacity:8 in
+  for i = 0 to 99 do
+    ignore (Buffer.access b ~table:"t" ~page:i)
+  done;
+  Alcotest.(check bool) "resident bounded" true (Buffer.resident b <= 8)
+
+let test_buffer_distinct_pages_when_large () =
+  (* with capacity >= distinct pages, misses = distinct pages regardless of
+     the access pattern *)
+  let b = Buffer.create ~capacity:100 in
+  let rng = Rng.create ~seed:1 in
+  let distinct = Hashtbl.create 16 in
+  for _ = 1 to 1000 do
+    let p = Rng.int rng 50 in
+    Hashtbl.replace distinct p ();
+    ignore (Buffer.access b ~table:"t" ~page:p)
+  done;
+  Alcotest.(check int) "misses = distinct" (Hashtbl.length distinct) (Buffer.misses b)
+
+let test_buffer_clear () =
+  let b = Buffer.create ~capacity:4 in
+  ignore (Buffer.access b ~table:"t" ~page:0);
+  Buffer.clear b;
+  Alcotest.(check int) "cleared misses" 0 (Buffer.misses b);
+  Alcotest.(check bool) "page gone" true (Buffer.access b ~table:"t" ~page:0)
+
+let test_buffer_tables_disjoint () =
+  let b = Buffer.create ~capacity:4 in
+  ignore (Buffer.access b ~table:"a" ~page:0);
+  Alcotest.(check bool) "same page other table misses" true
+    (Buffer.access b ~table:"b" ~page:0)
+
+let prop_buffer_misses_bounded =
+  QCheck2.Test.make ~name:"distinct <= misses <= accesses" ~count:200
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 1 100) (int_range 0 15)))
+    (fun (cap, pages) ->
+      let b = Buffer.create ~capacity:cap in
+      List.iter (fun p -> ignore (Buffer.access b ~table:"t" ~page:p)) pages;
+      let distinct = List.length (List.sort_uniq compare pages) in
+      Buffer.misses b >= distinct && Buffer.misses b <= List.length pages)
+
+let () =
+  Alcotest.run "storage"
+    [ ( "btree",
+        [ Alcotest.test_case "lookup" `Quick test_btree_lookup;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "search operators" `Quick test_btree_search_ops;
+          Alcotest.test_case "rids in key order" `Quick test_btree_rids_in_key_order;
+          QCheck_alcotest.to_alcotest prop_btree_vs_naive ] );
+      ( "table",
+        [ Alcotest.test_case "paper paging parameters" `Quick
+            test_table_paging_paper_parameters;
+          Alcotest.test_case "fetch and rows" `Quick test_table_fetch_and_rows;
+          Alcotest.test_case "clustering" `Quick test_table_clustering;
+          Alcotest.test_case "indexes" `Quick test_table_indexes;
+          Alcotest.test_case "statistics" `Quick test_table_stats;
+          Alcotest.test_case "unknown attribute" `Quick test_table_unknown_attr ] );
+      ( "buffer",
+        [ Alcotest.test_case "miss then hit" `Quick test_buffer_miss_then_hit;
+          Alcotest.test_case "LRU eviction" `Quick test_buffer_lru_eviction;
+          Alcotest.test_case "capacity bound" `Quick test_buffer_capacity_bound;
+          Alcotest.test_case "distinct pages" `Quick test_buffer_distinct_pages_when_large;
+          Alcotest.test_case "clear" `Quick test_buffer_clear;
+          Alcotest.test_case "tables disjoint" `Quick test_buffer_tables_disjoint;
+          QCheck_alcotest.to_alcotest prop_buffer_misses_bounded ] ) ]
