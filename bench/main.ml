@@ -15,9 +15,10 @@
      t6     — scope-hierarchy ablation
      t7     — ADT operation costs: push vs defer an expensive predicate
      t8     — OO7 query workload accuracy (measured vs calibrated vs rules)
+     cache  — two-level estimation cache: speedup + differential assertions
      micro  — Bechamel micro-benchmarks of the mediator kernels *)
 
-let all = [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "micro" ]
+let all = [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -41,6 +42,7 @@ let () =
       | "t6" -> Scopes.print ()
       | "t7" -> Adtbench.print ()
       | "t8" -> Oo7queries.print ?config:fig12_config ()
+      | "cache" -> Cachebench.print ~smoke:small ()
       | "micro" -> Micro.print ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);

@@ -30,6 +30,13 @@ let no_rules_arg =
   let doc = "Register wrappers without their cost rules (generic model only)." in
   Arg.(value & flag & info [ "no-rules" ] ~doc)
 
+let no_cache_arg =
+  let doc =
+    "Disable the estimation caches (per-optimization memo and cross-query \
+     plan cache); every plan is re-estimated from scratch."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let history_mode = function
   | "off" -> History.Off
   | "exact" -> History.Exact
@@ -45,13 +52,15 @@ let objective_of = function
   | "first" -> Optimizer.First_tuple
   | other -> Fmt.failwith "unknown objective %S (total|first)" other
 
-let make_mediator ~small ~seed ~history ~no_rules =
+let make_mediator ?(no_cache = false) ~small ~seed ~history ~no_rules () =
   let sizes = if small then Demo.small_sizes else Demo.default_sizes in
   let wrappers = Demo.make ~seed ~sizes () in
   let wrappers =
     if no_rules then List.map Wrapper.without_rules wrappers else wrappers
   in
-  let med = Mediator.create ~history_mode:(history_mode history) () in
+  let med =
+    Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache) ()
+  in
   List.iter (Mediator.register med) wrappers;
   (med, wrappers)
 
@@ -68,22 +77,24 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules objective sql =
+  let run small seed history no_rules no_cache objective sql =
     handle (fun () ->
-        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
         let a = Mediator.run_query ~objective:(objective_of objective) med sql in
         List.iter (fun row -> Fmt.pr "%a@." Tuple.pp_with_names row) a.Mediator.rows;
         Fmt.pr "-- %d rows, measured %a@."
           (List.length a.Mediator.rows)
           Run.pp_vector a.Mediator.measured;
         Fmt.pr "-- estimated TotalTime %.1f ms@."
-          (Estimator.total_time a.Mediator.estimate))
+          (Estimator.total_time a.Mediator.estimate);
+        if Mediator.cache_enabled med then
+          Fmt.pr "-- plan cache: %a@." Plancache.pp_counters (Mediator.plancache med))
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
-      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ objective_arg
-      $ sql)
+      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
+      $ objective_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -91,9 +102,9 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules sql =
+  let run small seed history no_rules no_cache sql =
     handle (fun () ->
-        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
         print_string (Mediator.explain med sql))
   in
   Cmd.v
@@ -101,7 +112,9 @@ let explain_cmd =
        ~doc:
          "Show the chosen plan with per-node cost estimates and the scope of \
           the rule that produced each one.")
-    Term.(const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ sql)
+    Term.(
+      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
+      $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -109,15 +122,17 @@ let analyze_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules sql =
+  let run small seed history no_rules no_cache sql =
     handle (fun () ->
-        let med, _ = make_mediator ~small ~seed ~history ~no_rules in
+        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
         print_string (Mediator.analyze med sql))
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
-    Term.(const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ sql)
+    Term.(
+      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
+      $ sql)
 
 (* --- registration ----------------------------------------------------------------- *)
 
@@ -175,7 +190,9 @@ let check_cmd =
 let sources_cmd =
   let run small seed =
     handle (fun () ->
-        let med, wrappers = make_mediator ~small ~seed ~history:"off" ~no_rules:false in
+        let med, wrappers =
+          make_mediator ~small ~seed ~history:"off" ~no_rules:false ()
+        in
         List.iter
           (fun w ->
             Fmt.pr "source %s:@." w.Wrapper.name;

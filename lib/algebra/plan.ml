@@ -126,6 +126,32 @@ let rec equal p q =
   | Submit (s1, c1), Submit (s2, c2) -> String.equal s1 s2 && equal c1 c2
   | _ -> false
 
+let equal_structural = equal
+
+(* Canonical structural hash consistent with [equal_structural]. The tree is
+   combined manually (the default [Hashtbl.hash] stops after 10 meaningful
+   nodes, which would collide every deep plan); flat leaf payloads — name
+   lists, sort keys, aggregate specs — go through [Hashtbl.hash], and
+   predicates through [Pred.hash], whose constant hashing matches the numeric
+   coercion of [Pred.equal]. *)
+let hash p =
+  let comb acc x = (acc * 31) + x in
+  let rec go acc = function
+    | Scan r ->
+      comb
+        (comb (comb (comb acc 3) (Hashtbl.hash r.source)) (Hashtbl.hash r.collection))
+        (Hashtbl.hash r.binding)
+    | Select (c, pr) -> go (comb (comb acc 5) (Pred.hash pr)) c
+    | Project (c, attrs) -> go (comb (comb acc 7) (Hashtbl.hash attrs)) c
+    | Sort (c, keys) -> go (comb (comb acc 11) (Hashtbl.hash keys)) c
+    | Join (l, r, pr) -> go (go (comb (comb acc 13) (Pred.hash pr)) l) r
+    | Union (l, r) -> go (go (comb acc 17) l) r
+    | Dedup c -> go (comb acc 19) c
+    | Aggregate (c, a) -> go (comb (comb acc 23) (Hashtbl.hash a)) c
+    | Submit (src, c) -> go (comb (comb acc 29) (Hashtbl.hash src)) c
+  in
+  go 0 p land max_int
+
 (* All scans appearing in a plan, left to right. *)
 let scans p =
   List.rev

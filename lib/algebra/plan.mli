@@ -57,6 +57,16 @@ val equal : t -> t -> bool
 (** Structural equality; this is the matching relation of query-scope
     (historical) cost rules. *)
 
+val equal_structural : t -> t -> bool
+(** Alias of {!equal}, named for its role as the equivalence underlying
+    {!hash}: two structurally equal subtrees are estimation-equivalent under
+    a fixed registry, so caches may share their cost annotations. *)
+
+val hash : t -> int
+(** Canonical structural hash consistent with {!equal_structural} (full
+    depth, numeric-coercing constant hashing). Key plans with [hash] +
+    [equal_structural] in memo tables. *)
+
 val scans : t -> collection_ref list
 (** All scans, left to right. *)
 

@@ -45,6 +45,26 @@ let rec equal p q =
   | True, True -> true
   | _ -> false
 
+(* Structural hash consistent with [equal]; a cheap polynomial combine over
+   constructor tags and leaf hashes (no depth cut-off, unlike the default
+   [Hashtbl.hash], so large predicates still discriminate). *)
+let hash p =
+  let comb acc x = (acc * 31) + x in
+  let cmp_tag = function Eq -> 1 | Ne -> 2 | Lt -> 3 | Le -> 4 | Gt -> 5 | Ge -> 6 in
+  let rec go acc = function
+    | Cmp (a, op, v) ->
+      comb (comb (comb (comb acc 3) (Hashtbl.hash a)) (cmp_tag op)) (Constant.hash v)
+    | Attr_cmp (a, op, b) ->
+      comb (comb (comb (comb acc 5) (Hashtbl.hash a)) (cmp_tag op)) (Hashtbl.hash b)
+    | Apply (fn, a, v) ->
+      comb (comb (comb (comb acc 7) (Hashtbl.hash fn)) (Hashtbl.hash a)) (Constant.hash v)
+    | And (p, q) -> go (go (comb acc 11) p) q
+    | Or (p, q) -> go (go (comb acc 13) p) q
+    | Not p -> go (comb acc 17) p
+    | True -> comb acc 19
+  in
+  go 0 p land max_int
+
 let no_apply name _ _ =
   raise
     (Disco_common.Err.Eval_error

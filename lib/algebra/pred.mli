@@ -28,6 +28,10 @@ val to_string : t -> string
 val equal : t -> t -> bool
 (** Structural equality (constants compare with numeric coercion). *)
 
+val hash : t -> int
+(** Structural hash consistent with {!equal}; unbounded depth, unlike the
+    default [Hashtbl.hash]. *)
+
 val eval :
   ?apply:(string -> Constant.t -> Constant.t -> bool) ->
   (string -> Constant.t) -> t -> bool

@@ -28,6 +28,15 @@ let equal a b =
   | String a, String b -> String.equal a b
   | _ -> false
 
+(* Hash consistent with [equal]: numeric constants hash through their float
+   value so that [Int 1] and [Float 1.] (equal under coercion) collide. *)
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 19 else 23
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
 (* Rank used to obtain a total order across constructors. *)
 let rank = function
   | Null -> 0

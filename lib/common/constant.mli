@@ -20,6 +20,10 @@ val to_string : t -> string
 val equal : t -> t -> bool
 (** Equality with numeric coercion: [equal (Int 2) (Float 2.) = true]. *)
 
+val hash : t -> int
+(** Hash consistent with {!equal}: numeric constants hash through their float
+    value, so [hash (Int 2) = hash (Float 2.)]. *)
+
 val compare : t -> t -> int
 (** Total order. Numerics compare by value across constructors; values of
     different kinds order by kind rank (null < bool < numeric < string). *)

@@ -55,34 +55,78 @@ let make_ctx ?abort_above ?(evals = ref 0) registry = { registry; abort_above; e
 
 (* --- Annotation construction (structure + derived statistics) ----------- *)
 
+(* Memo of annotated subtrees, keyed on (rule-context source, canonical
+   structural hash). Two structurally equal subtrees estimated under the same
+   source context are estimation-equivalent while the registry is unchanged,
+   so they can share one [ann] — and with it every cost variable already
+   computed. This is the per-optimization cache of the subset-DP: candidate
+   plans overlap massively (the same submit subtree appears under many join
+   orders), and sharing annotations means the estimator never re-runs a
+   formula on an already-costed subtree. A memo must not outlive a registry
+   write (callers create one per optimization; cross-query reuse is
+   [Plancache]'s job, guarded by the generation counter). *)
+module Memo_tbl = Hashtbl.Make (struct
+  type t = string * Plan.t
+
+  let equal (s1, p1) (s2, p2) = String.equal s1 s2 && Plan.equal_structural p1 p2
+  let hash (s, p) = (Hashtbl.hash s * 31) + Plan.hash p
+end)
+
+type memo = {
+  table : ann Memo_tbl.t;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
+let new_memo () = { table = Memo_tbl.create 128; memo_hits = 0; memo_misses = 0 }
+
+let memo_counters m = (m.memo_hits, m.memo_misses)
+
 let node_source ~inherited (node : Plan.t) =
   match node with
   | Plan.Scan r -> r.Plan.source
   | Plan.Submit (src, _) -> src
   | _ -> inherited
 
-let rec build registry ~source (node : Plan.t) : ann =
+let rec build ?memo registry ~source (node : Plan.t) : ann =
   let source = node_source ~inherited:source node in
-  let child_source =
-    match node with Plan.Submit (src, _) -> src | _ -> source
+  let construct () =
+    let child_source =
+      match node with Plan.Submit (src, _) -> src | _ -> source
+    in
+    let inputs =
+      Array.of_list
+        (List.map
+           (fun c -> build ?memo registry ~source:child_source c)
+           (Plan.children node))
+    in
+    let stats =
+      lazy
+        (Derive.of_node (Registry.catalog registry) node
+           (Array.to_list (Array.map (fun a -> Lazy.force a.stats) inputs)))
+    in
+    { node;
+      source;
+      inputs;
+      stats;
+      matched = lazy (Registry.matching registry ~source node);
+      vars = Hashtbl.create 8;
+      insts = Hashtbl.create 8;
+      in_progress = [] }
   in
-  let inputs =
-    Array.of_list
-      (List.map (fun c -> build registry ~source:child_source c) (Plan.children node))
-  in
-  let stats =
-    lazy
-      (Derive.of_node (Registry.catalog registry) node
-         (Array.to_list (Array.map (fun a -> Lazy.force a.stats) inputs)))
-  in
-  { node;
-    source;
-    inputs;
-    stats;
-    matched = lazy (Registry.matching registry ~source node);
-    vars = Hashtbl.create 8;
-    insts = Hashtbl.create 8;
-    in_progress = [] }
+  match memo with
+  | None -> construct ()
+  | Some m ->
+    let key = (source, node) in
+    (match Memo_tbl.find_opt m.table key with
+     | Some ann ->
+       m.memo_hits <- m.memo_hits + 1;
+       ann
+     | None ->
+       m.memo_misses <- m.memo_misses + 1;
+       let ann = construct () in
+       Memo_tbl.add m.table key ann;
+       ann)
 
 let input_stats ann =
   Array.to_list (Array.map (fun a -> Lazy.force a.stats) ann.inputs)
@@ -395,10 +439,10 @@ and eval_ctx ctx ann (inst : inst) : Compile.ctx =
    variables computed at the root. [source] sets the rule-lookup context of
    the root (default: the mediator; pass a wrapper name to estimate a subplan
    as the wrapper executes it). *)
-let estimate ?abort_above ?evals ?(require_vars = Ast.all_cost_vars)
+let estimate ?abort_above ?evals ?memo ?(require_vars = Ast.all_cost_vars)
     ?(source = Registry.mediator_source) registry plan =
   let ctx = make_ctx ?abort_above ?evals registry in
-  let ann = build registry ~source plan in
+  let ann = build ?memo registry ~source plan in
   List.iter (fun v -> ignore (require ctx ann v)) require_vars;
   ann
 

@@ -55,10 +55,26 @@ type ctx = {
 
 val make_ctx : ?abort_above:float -> ?evals:int ref -> Registry.t -> ctx
 
-val build : Registry.t -> source:string -> Plan.t -> ann
+type memo
+(** A per-optimization memo of annotated subtrees, keyed on the rule-context
+    source and the canonical structural hash of the subtree
+    ({!Plan.hash}/{!Plan.equal_structural}). Structurally equal subtrees
+    share one {!ann} — and with it every cost variable already computed — so
+    repeated estimation of overlapping candidate plans never re-runs a
+    formula on an already-costed subtree. A memo is only sound while the
+    registry is unchanged: discard it after any write (see
+    {!Registry.generation}). *)
+
+val new_memo : unit -> memo
+
+val memo_counters : memo -> int * int
+(** [(subtree hits, subtree misses)] since creation. *)
+
+val build : ?memo:memo -> Registry.t -> source:string -> Plan.t -> ann
 (** Annotate a plan without computing anything; [source] is the rule context
     of the root (nodes under [Submit] switch to the submitted source, scans
-    to their own). *)
+    to their own). With [memo], already-annotated subtrees are shared instead
+    of rebuilt. *)
 
 val require : ctx -> ann -> Ast.cost_var -> float
 (** Compute (and cache) one cost variable of a node.
@@ -69,6 +85,7 @@ val require : ctx -> ann -> Ast.cost_var -> float
 val estimate :
   ?abort_above:float ->
   ?evals:int ref ->
+  ?memo:memo ->
   ?require_vars:Ast.cost_var list ->
   ?source:string ->
   Registry.t ->
@@ -76,7 +93,8 @@ val estimate :
   ann
 (** Annotate and compute the [require_vars] (default: all five) at the root.
     [source] defaults to the mediator; pass a wrapper name to estimate a
-    subplan as the wrapper executes it. *)
+    subplan as the wrapper executes it. [memo] shares subtree annotations
+    across calls (see {!memo}). *)
 
 val var : ann -> Ast.cost_var -> float option
 (** A computed variable, if it has been demanded. *)

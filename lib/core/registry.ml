@@ -34,6 +34,11 @@ type t = {
   adt_sels : (string, float) Hashtbl.t;
   mutable next_id : int;
   mutable next_order : int;
+  (* monotonic stamp of the blended model: bumps on every write that can
+     change an estimate (rule registration, [let] update, calibration/history
+     adjustment, ADT export). Caches of estimation results are valid only
+     while the generation they were computed under is still current. *)
+  mutable generation : int;
 }
 
 let create catalog =
@@ -43,7 +48,8 @@ let create catalog =
     adt_costs = Hashtbl.create 8;
     adt_sels = Hashtbl.create 8;
     next_id = 0;
-    next_order = 0 }
+    next_order = 0;
+    generation = 0 }
 
 let entry t source =
   match Hashtbl.find_opt t.sources source with
@@ -55,7 +61,13 @@ let entry t source =
     Hashtbl.add t.sources source e;
     e
 
-let invalidate t = Hashtbl.reset t.merged
+let bump t = t.generation <- t.generation + 1
+
+let generation t = t.generation
+
+let invalidate t =
+  Hashtbl.reset t.merged;
+  bump t
 
 (* --- Statistics resolution helpers (shared with the estimator) ---------- *)
 
@@ -221,7 +233,8 @@ let remove_query_rules t ~source =
 
 let register_adt t ~name ~cost_ms ~selectivity =
   Hashtbl.replace t.adt_costs name cost_ms;
-  Hashtbl.replace t.adt_sels name selectivity
+  Hashtbl.replace t.adt_sels name selectivity;
+  bump t
 
 let adt_cost t name = Hashtbl.find_opt t.adt_costs name
 let adt_selectivity t name = Hashtbl.find_opt t.adt_sels name
@@ -354,6 +367,9 @@ let register_source_decl ?scope_override t (decl : Ast.source_decl) =
       decl.Ast.items
   in
   harvest_adt_lets t ~source decl;
+  (* lets and ADT exports change estimates even when no rule was (re)compiled
+     above, so a registration always moves the generation *)
+  bump t;
   compiled
 
 (* Parse and register cost-language text for a named source. *)
@@ -396,7 +412,9 @@ let matching t ~source (node : Disco_algebra.Plan.t) : (Rule.t * Rule.bindings) 
 
 let rule_count t ~source = List.length (entry t source).rules
 
-let set_adjust t ~source f = (entry t source).adjust <- f
+let set_adjust t ~source f =
+  (entry t source).adjust <- f;
+  bump t
 let adjust t ~source = (entry t source).adjust
 
 let catalog t = t.catalog

@@ -24,6 +24,14 @@ val create : Catalog.t -> t
 
 val catalog : t -> Catalog.t
 
+val generation : t -> int
+(** Monotonic stamp of the blended cost model. It bumps on every write that
+    can change an estimate: rule registration (including query-scope
+    historical rules and their removal), source (re-)registration — rules,
+    [let] parameters and ADT exports — and calibration/history adjustment
+    factors. A cached estimation result is valid only while the generation it
+    was computed under is still current. *)
+
 (** {1 Statistics resolution helpers (shared with the estimator)} *)
 
 val extent_stat : Stats.extent -> string -> float option

@@ -18,21 +18,33 @@ type t = {
   catalog : Catalog.t;
   registry : Registry.t;
   history : History.t;
+  plancache : Plancache.t;
+  (* escape hatch (the CLI's --no-cache): when off, every optimization
+     re-estimates from scratch — the reference behavior the differential
+     tests compare against *)
+  mutable cache_enabled : bool;
   mutable wrappers : (string * Wrapper.t) list;
 }
 
-let create ?calibration ?(history_mode = History.Off) () =
+let create ?calibration ?(history_mode = History.Off) ?(cache = true) () =
   let catalog = Catalog.create () in
   let registry = Registry.create catalog in
   Generic.register ?calibration registry;
   { catalog;
     registry;
     history = History.create ~mode:history_mode registry;
+    plancache = Plancache.create ();
+    cache_enabled = cache;
     wrappers = [] }
 
 let registry t = t.registry
 let catalog t = t.catalog
 let history t = t.history
+let plancache t = t.plancache
+let cache_enabled t = t.cache_enabled
+let set_cache_enabled t on = t.cache_enabled <- on
+
+let active_cache t = if t.cache_enabled then Some t.plancache else None
 
 (* Registration phase: the wrapper returns schemas, statistics and cost
    information; the mediator statically checks the export, then compiles and
@@ -304,9 +316,31 @@ let plan_of_variant ?objective t (r : resolved) : Plan.t =
   let joined =
     match r.spec.Optimizer.bases with
     | [ b ] -> Optimizer.submit_base b
-    | _ -> fst (Optimizer.optimize ?objective t.registry r.spec)
+    | _ ->
+      fst
+        (Optimizer.optimize ?objective ~memo:t.cache_enabled
+           ?cache:(active_cache t) t.registry r.spec)
   in
   decorate r joined
+
+(* Estimate one variable of a complete plan through the cross-query cache
+   (when enabled). Cached and fresh paths return bit-identical values: the
+   cache stores exactly what the estimator computed, and the generation stamp
+   drops it as soon as the model changes. *)
+let cached_estimate t ~var (plan : Plan.t) : float =
+  let fresh () =
+    let ann = Estimator.estimate ~require_vars:[ var ] t.registry plan in
+    Option.get (Estimator.var ann var)
+  in
+  match active_cache t with
+  | None -> fresh ()
+  | Some c ->
+    (match Plancache.find c t.registry ~objective:var plan with
+     | Some cost -> cost
+     | None ->
+       let cost = fresh () in
+       Plancache.add c t.registry ~objective:var plan cost;
+       cost)
 
 (* Parse, resolve and optimize a query — including the push-vs-defer choice
    for expensive predicates; returns the decorated plan and its estimated
@@ -323,8 +357,7 @@ let best_plan ?(objective = Optimizer.Total_time) t (text : string) : Plan.t * f
     List.map
       (fun v ->
         let plan = plan_of_variant ~objective t v in
-        let ann = Estimator.estimate ~require_vars:[ var ] t.registry plan in
-        (plan, Option.get (Estimator.var ann var)))
+        (plan, cached_estimate t ~var plan))
       (variants r)
   in
   match candidates with

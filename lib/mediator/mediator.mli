@@ -16,12 +16,24 @@ open Disco_sql
 
 type t
 
-val create : ?calibration:Generic.calibration -> ?history_mode:History.mode -> unit -> t
-(** A fresh mediator with its generic cost model installed. *)
+val create :
+  ?calibration:Generic.calibration -> ?history_mode:History.mode ->
+  ?cache:bool -> unit -> t
+(** A fresh mediator with its generic cost model installed. [cache] (default
+    on) enables the cross-query plan/cost cache; disabling it is the
+    reference behavior the differential tests compare against. *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t
 val history : t -> History.t
+
+val plancache : t -> Plancache.t
+(** The cross-query plan/cost cache (its counters report hits, misses, stale
+    drops and evictions even when disabled — a disabled cache is simply never
+    consulted). *)
+
+val cache_enabled : t -> bool
+val set_cache_enabled : t -> bool -> unit
 
 val register : t -> Wrapper.t -> unit
 (** The registration phase: the wrapper returns schemas, statistics and cost

@@ -190,35 +190,54 @@ let objective_var = function
 
 (* Estimate a complete plan; [bound] enables the early-abort heuristic of
    §4.3.2 (TotalTime objective only — TimeFirst is not monotone along the
-   tree). Returns [None] when aborted. *)
-let cost_of ?bound ?(objective = Total_time) registry (stats : stats)
-    (plan : Plan.t) : float option =
+   tree). Returns [None] when aborted.
+
+   [memo] shares subtree annotations with earlier estimates of the same
+   optimizer run; [cache] consults (and feeds) the cross-query plan cache. A
+   cache hit can return a cost above [bound] where the uncached path would
+   have aborted — callers compare against the best so far either way, so the
+   selected plan is identical; only the abort counter differs. Aborted
+   estimates are never cached. *)
+let cost_of ?bound ?(objective = Total_time) ?memo ?cache registry
+    (stats : stats) (plan : Plan.t) : float option =
   stats.plans_considered <- stats.plans_considered + 1;
-  let evals = ref 0 in
-  let bound = match objective with Total_time -> bound | First_tuple -> None in
-  let result =
-    try
-      let ann =
-        Estimator.estimate ?abort_above:bound ~evals
-          ~require_vars:[ objective_var objective ] registry plan
-      in
-      Some (Option.get (Estimator.var ann (objective_var objective)))
-    with Estimator.Aborted ->
-      stats.plans_aborted <- stats.plans_aborted + 1;
-      None
+  let var = objective_var objective in
+  let cached =
+    match cache with
+    | Some c -> Plancache.find c registry ~objective:var plan
+    | None -> None
   in
-  stats.formula_evals <- stats.formula_evals + !evals;
-  result
+  match cached with
+  | Some cost -> Some cost
+  | None ->
+    let evals = ref 0 in
+    let bound = match objective with Total_time -> bound | First_tuple -> None in
+    let result =
+      try
+        let ann =
+          Estimator.estimate ?abort_above:bound ~evals ?memo
+            ~require_vars:[ var ] registry plan
+        in
+        Some (Option.get (Estimator.var ann var))
+      with Estimator.Aborted ->
+        stats.plans_aborted <- stats.plans_aborted + 1;
+        None
+    in
+    stats.formula_evals <- stats.formula_evals + !evals;
+    (match result, cache with
+     | Some cost, Some c -> Plancache.add c registry ~objective:var plan cost
+     | _ -> ());
+    result
 
 (* Pick the cheapest plan from an explicit list, optionally with
    branch-and-bound pruning. *)
-let choose ?(prune = true) ?(objective = Total_time) registry ?stats
-    (plans : Plan.t list) : (Plan.t * float) option =
+let choose ?(prune = true) ?(objective = Total_time) ?memo ?cache registry
+    ?stats (plans : Plan.t list) : (Plan.t * float) option =
   let stats = match stats with Some s -> s | None -> new_stats () in
   List.fold_left
     (fun best plan ->
       let bound = if prune then Option.map snd best else None in
-      match cost_of ?bound ~objective registry stats plan with
+      match cost_of ?bound ~objective ?memo ?cache registry stats plan with
       | None -> best
       | Some cost ->
         (match best with
@@ -235,12 +254,20 @@ module Key = struct
 end
 
 (* DP over alias subsets: for each subset keep the best candidate per site
-   (one per source for unwrapped plans, one mediator-side). *)
-let optimize ?(objective = Total_time) registry (spec : spec) : Plan.t * float =
+   (one per source for unwrapped plans, one mediator-side). [memo] (default
+   on) shares subtree annotations across the run — the DP re-costs the same
+   candidate on every [put] comparison and its candidates overlap massively,
+   so without sharing the estimator re-runs formulas on identical subtrees
+   thousands of times. [cache] is the cross-query cache; both only change
+   what is recomputed, never the costs, so the chosen plan is identical with
+   and without them (see test/test_plancache.ml). *)
+let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
+    (spec : spec) : Plan.t * float =
   if spec.bases = [] then raise (Err.Plan_error "query has no relations");
   let stats = new_stats () in
+  let memo = if memo then Some (Estimator.new_memo ()) else None in
   let cost plan =
-    match cost_of ~objective registry stats plan with
+    match cost_of ~objective ?memo ?cache registry stats plan with
     | Some c -> c
     | None -> infinity
   in

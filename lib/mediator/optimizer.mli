@@ -63,19 +63,29 @@ val new_stats : unit -> stats
 type objective = Total_time | First_tuple
 
 val cost_of :
-  ?bound:float -> ?objective:objective -> Registry.t -> stats -> Plan.t ->
-  float option
+  ?bound:float -> ?objective:objective -> ?memo:Estimator.memo ->
+  ?cache:Plancache.t -> Registry.t -> stats -> Plan.t -> float option
 (** Estimated cost of a complete plan under the objective; [bound] enables
     the early-abort heuristic of §4.3.2 (TotalTime only) and [None] reports
-    an abort. *)
+    an abort. [memo] shares subtree annotations with earlier estimates of
+    the same optimizer run; [cache] consults and feeds the cross-query
+    {!Plancache}. Neither changes computed costs — only what is recomputed.
+    Aborted estimates are never cached. *)
 
 val choose :
-  ?prune:bool -> ?objective:objective -> Registry.t -> ?stats:stats ->
+  ?prune:bool -> ?objective:objective -> ?memo:Estimator.memo ->
+  ?cache:Plancache.t -> Registry.t -> ?stats:stats ->
   Plan.t list -> (Plan.t * float) option
 (** Cheapest plan of an explicit list, with branch-and-bound pruning against
     the best cost so far (default on). *)
 
-val optimize : ?objective:objective -> Registry.t -> spec -> Plan.t * float
+val optimize :
+  ?objective:objective -> ?memo:bool -> ?cache:Plancache.t -> Registry.t ->
+  spec -> Plan.t * float
 (** Dynamic programming over alias subsets, keeping the best candidate per
-    site (one per source for unwrapped subplans, one mediator-side).
+    site (one per source for unwrapped subplans, one mediator-side). [memo]
+    (default on) shares subtree annotations across the run, so the DP never
+    re-runs the estimator on an already-costed subtree; [cache] carries
+    complete-plan costs across queries. Both are value-preserving: the chosen
+    plan and cost are identical with and without them.
     @raise Disco_common.Err.Plan_error on an empty or disconnected query. *)

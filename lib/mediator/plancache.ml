@@ -1,0 +1,91 @@
+(* Cross-query plan/cost cache.
+
+   The per-optimization memo in [Estimator] shares subtree annotations within
+   one optimizer run; this cache carries complete estimation results across
+   queries. Entries are keyed on the objective variable and the canonical
+   structural hash of the plan, and stamped with the registry generation in
+   force when they were computed. Any write to the blended model — rule
+   registration, [let] update, calibration adjustment, historical-tuning
+   feedback (§4.3) — bumps the generation, so stale entries are detected on
+   lookup and dropped instead of served: the dynamic-extension machinery can
+   never be shadowed by an old cached cost.
+
+   Eviction is FIFO under a fixed capacity: mediator workloads re-optimize
+   recent query shapes, and FIFO keeps the bookkeeping O(1) without touching
+   entries on hit. *)
+
+open Disco_algebra
+open Disco_core
+
+module Tbl = Hashtbl.Make (struct
+  type t = Disco_costlang.Ast.cost_var * Plan.t
+
+  let equal (v1, p1) (v2, p2) = v1 = v2 && Plan.equal_structural p1 p2
+  let hash (v, p) = (Hashtbl.hash v * 31) + Plan.hash p
+end)
+
+type entry = { cost : float; generation : int }
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;       (* includes stale lookups *)
+  mutable stale : int;        (* entries dropped because the model changed *)
+  mutable evictions : int;    (* entries dropped by the capacity bound *)
+}
+
+type t = {
+  capacity : int;
+  table : entry Tbl.t;
+  order : (Disco_costlang.Ast.cost_var * Plan.t) Queue.t;  (* insertion order *)
+  counters : counters;
+}
+
+let create ?(capacity = 4096) () =
+  { capacity = max capacity 1;
+    table = Tbl.create 256;
+    order = Queue.create ();
+    counters = { hits = 0; misses = 0; stale = 0; evictions = 0 } }
+
+let counters t = t.counters
+
+let size t = Tbl.length t.table
+
+let clear t =
+  Tbl.reset t.table;
+  Queue.clear t.order
+
+let find t registry ~objective plan =
+  let key = (objective, plan) in
+  match Tbl.find_opt t.table key with
+  | Some e when e.generation = Registry.generation registry ->
+    t.counters.hits <- t.counters.hits + 1;
+    Some e.cost
+  | Some _ ->
+    Tbl.remove t.table key;
+    t.counters.stale <- t.counters.stale + 1;
+    t.counters.misses <- t.counters.misses + 1;
+    None
+  | None ->
+    t.counters.misses <- t.counters.misses + 1;
+    None
+
+let add t registry ~objective plan cost =
+  let key = (objective, plan) in
+  if not (Tbl.mem t.table key) then begin
+    (* the order queue may hold keys whose entry was already dropped as
+       stale; pop until a live one is evicted *)
+    while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+      let victim = Queue.pop t.order in
+      if Tbl.mem t.table victim then begin
+        Tbl.remove t.table victim;
+        t.counters.evictions <- t.counters.evictions + 1
+      end
+    done;
+    Queue.push key t.order
+  end;
+  Tbl.replace t.table key { cost; generation = Registry.generation registry }
+
+let pp_counters ppf t =
+  Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d"
+    t.counters.hits t.counters.misses t.counters.stale t.counters.evictions
+    (size t)

@@ -1,0 +1,44 @@
+(** Cross-query plan/cost cache, invalidated by the registry generation.
+
+    Complete estimation results (one cost per objective variable per plan)
+    are kept across queries, keyed on the canonical structural hash of the
+    plan ({!Disco_algebra.Plan.hash}). Each entry is stamped with the
+    {!Disco_core.Registry.generation} in force when it was computed; a lookup
+    under a newer generation drops the entry instead of serving it, so model
+    writes — rule registration, [let] updates, calibration adjustment,
+    historical-tuning feedback (paper §4.3) — can never be shadowed by an
+    old cached cost. Eviction is FIFO under a fixed capacity. *)
+
+open Disco_algebra
+open Disco_core
+
+type t
+
+(** Hit/miss/eviction counters, exposed for the CLI and the cache bench. *)
+type counters = {
+  mutable hits : int;
+  mutable misses : int;     (** includes stale lookups *)
+  mutable stale : int;      (** entries dropped because the model changed *)
+  mutable evictions : int;  (** entries dropped by the capacity bound *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** An empty cache holding at most [capacity] (default 4096) entries. *)
+
+val find : t -> Registry.t -> objective:Disco_costlang.Ast.cost_var -> Plan.t -> float option
+(** The cached cost of [plan] under [objective], if present and computed
+    under the registry's current generation. A stale entry is dropped and
+    reported as a miss. *)
+
+val add : t -> Registry.t -> objective:Disco_costlang.Ast.cost_var -> Plan.t -> float -> unit
+(** Record a freshly computed cost, stamped with the current generation,
+    evicting the oldest entries if the capacity is reached. *)
+
+val counters : t -> counters
+
+val size : t -> int
+
+val clear : t -> unit
+(** Drop all entries (counters are kept). *)
+
+val pp_counters : Format.formatter -> t -> unit

@@ -346,6 +346,38 @@ let test_pp_roundtrip_source () =
   let s2 = Parser.parse_source ~what:"rt2" printed in
   Alcotest.(check bool) "round-trip equal" true (s1 = s2)
 
+(* parse ∘ pp ∘ parse = parse on every real export in the tree: the generic
+   model, the mediator's local rules, and each demo wrapper's registration
+   text — as whole sources and rule by rule. *)
+let real_sources () =
+  [ ("generic", Disco_core.Generic.text ());
+    ("local", Disco_core.Generic.local_text) ]
+  @ List.map
+      (fun w ->
+        (w.Disco_wrapper.Wrapper.name, Disco_wrapper.Wrapper.registration_text w))
+      (Disco_wrapper.Demo.make ~sizes:Disco_wrapper.Demo.small_sizes ())
+
+let test_pp_roundtrip_real_sources () =
+  List.iter
+    (fun (name, text) ->
+      let s1 = Parser.parse_source ~what:name text in
+      let s2 = Parser.parse_source ~what:(name ^ " reparsed") (Pp.source_to_string s1) in
+      Alcotest.(check bool) (name ^ " source round-trips") true (s1 = s2))
+    (real_sources ())
+
+let test_pp_roundtrip_real_rules () =
+  List.iter
+    (fun (name, text) ->
+      let s = Parser.parse_source ~what:name text in
+      List.iter
+        (fun (_iface, r) ->
+          let printed = Fmt.str "%a" Pp.rule r in
+          let r2 = Parser.parse_rule ~what:(name ^ " rule reparsed") printed in
+          if r2 <> r then
+            Alcotest.failf "%s: rule does not round-trip:@.%s" name printed)
+        (Ast.rules_of_source s))
+    (real_sources ())
+
 (* random expression generator for the round-trip property *)
 let rec expr_gen depth =
   let open QCheck2.Gen in
@@ -520,6 +552,10 @@ let () =
             test_check_generic_model_clean ] );
       ( "pretty-printer",
         [ Alcotest.test_case "source round-trip" `Quick test_pp_roundtrip_source;
+          Alcotest.test_case "real sources round-trip" `Quick
+            test_pp_roundtrip_real_sources;
+          Alcotest.test_case "real rules round-trip" `Quick
+            test_pp_roundtrip_real_rules;
           QCheck_alcotest.to_alcotest prop_expr_roundtrip ] );
       ( "compile",
         [ Alcotest.test_case "arithmetic" `Quick test_compile_arith;

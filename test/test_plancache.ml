@@ -1,0 +1,339 @@
+(* The two-level estimation cache, tested two ways:
+
+   - differentially: random queries planned through a cache-enabled and a
+     cache-disabled mediator over the same federation must yield the
+     identical plan and a bit-identical estimated cost ([Int64.bits_of_float]
+     equality, not an epsilon) — and a repeated cached query, now served from
+     the warm cross-query cache, must reproduce the same bits;
+
+   - invalidation: every kind of cost-model write — rule registration,
+     [let] update via re-registration, calibration adjustment, historical
+     feedback (§4.3) — must bump {!Registry.generation}, so a stale cache
+     entry is dropped instead of served and re-estimation sees the new
+     model. One test per {!Registry} invalidation site. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_costlang
+open Disco_core
+open Disco_wrapper
+open Disco_mediator
+
+let bits = Int64.bits_of_float
+
+(* --- Differential harness ------------------------------------------------------ *)
+
+(* Two mediators over the same deterministic demo federation: the reference
+   (cache disabled: no estimator memo, no plan cache) and the cached one. *)
+let reference, cached =
+  let mk cache =
+    let m = Mediator.create ~cache () in
+    List.iter (Mediator.register m) (Demo.make ~sizes:Demo.small_sizes ());
+    m
+  in
+  (mk false, mk true)
+
+(* Query templates spanning the shapes the optimizer sees: single-source
+   selections, intra- and cross-source joins, three- and four-way joins,
+   decoration (distinct / order by / group by), and an ADT predicate whose
+   placement is itself cost-based (§7). *)
+let templates =
+  [ (fun v -> Fmt.str "select e.id from Employee e where e.salary > %d" (v mod 30_000));
+    (fun v ->
+      Fmt.str "select e.id, e.name from Employee e where e.age < %d and e.dept_id = %d"
+        (v mod 60) (1 + (v mod 20)));
+    (fun v ->
+      Fmt.str
+        "select e.id from Employee e, Department d \
+         where e.dept_id = d.id and d.budget > %d"
+        (100_000 + (v * 37 mod 300_000)));
+    (fun v ->
+      Fmt.str
+        "select t.id from Project p, Task t where t.project_id = p.id and p.cost < %d"
+        (5000 + (v mod 100_000)));
+    (fun v ->
+      Fmt.str
+        "select e.id from Employee e, Department d, Project p \
+         where e.dept_id = d.id and d.id = p.dept_id and e.salary > %d"
+        (v mod 30_000));
+    (fun v ->
+      Fmt.str
+        "select e.id from Employee e, Department d, Project p, Task t \
+         where e.dept_id = d.id and d.id = p.dept_id and p.id = t.project_id \
+         and t.hours > %d"
+        (v mod 100));
+    (fun v ->
+      Fmt.str "select l.id from Employee e, Listing l where l.emp_id = e.id \
+               and l.rating >= %d"
+        (1 + (v mod 5)));
+    (fun v ->
+      Fmt.str "select distinct d.city from Department d where d.budget > %d"
+        (v mod 300_000));
+    (fun v ->
+      Fmt.str
+        "select e.dept_id, count(*) as n from Employee e where e.salary > %d \
+         group by e.dept_id order by n desc limit 3"
+        (v mod 30_000));
+    (fun v ->
+      Fmt.str
+        "select d.doc_id from Document d \
+         where lang_match(d.lang, \"en\") and d.bytes > %d"
+        (v mod 100_000)) ]
+
+let prop_differential =
+  QCheck2.Test.make ~name:"cached plan and cost = uncached (bit-identical)"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 0 (List.length templates - 1)) (int_range 0 1_000_000))
+    (fun (ti, v) ->
+      let sql = (List.nth templates ti) v in
+      let p0, c0 = Mediator.plan_query reference sql in
+      let p1, c1 = Mediator.plan_query cached sql in
+      (* same query again: complete-plan costs now come from the warm
+         cross-query cache *)
+      let p2, c2 = Mediator.plan_query cached sql in
+      Plan.equal p0 p1 && bits c0 = bits c1 && Plan.equal p0 p2 && bits c0 = bits c2)
+
+let prop_objectives_differential =
+  QCheck2.Test.make ~name:"differential also holds under TimeFirst" ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun v ->
+      let sql = (List.nth templates (v mod List.length templates)) v in
+      let objective = Optimizer.First_tuple in
+      let p0, c0 = Mediator.plan_query ~objective reference sql in
+      let p1, c1 = Mediator.plan_query ~objective cached sql in
+      Plan.equal p0 p1 && bits c0 = bits c1)
+
+(* Runs after the properties (alcotest preserves suite order): the
+   differential pass must actually have exercised the cache, otherwise the
+   equalities above prove nothing. *)
+let test_cache_was_exercised () =
+  let c = Plancache.counters (Mediator.plancache cached) in
+  Alcotest.(check bool) "cross-query hits happened" true (c.Plancache.hits > 0);
+  Alcotest.(check bool) "misses happened" true (c.Plancache.misses > 0);
+  let r = Plancache.counters (Mediator.plancache reference) in
+  Alcotest.(check int) "reference cache never consulted" 0
+    (r.Plancache.hits + r.Plancache.misses)
+
+let test_no_cache_flag_toggles () =
+  let med = Mediator.create ~cache:false () in
+  List.iter (Mediator.register med) (Demo.make ~sizes:Demo.small_sizes ());
+  Alcotest.(check bool) "disabled at creation" false (Mediator.cache_enabled med);
+  let sql = "select e.id from Employee e where e.salary > 1000" in
+  ignore (Mediator.plan_query med sql);
+  Alcotest.(check int) "no lookups while disabled" 0
+    ((Plancache.counters (Mediator.plancache med)).Plancache.misses);
+  Mediator.set_cache_enabled med true;
+  ignore (Mediator.plan_query med sql);
+  Alcotest.(check bool) "lookups once enabled" true
+    ((Plancache.counters (Mediator.plancache med)).Plancache.misses > 0)
+
+(* --- Plancache mechanics -------------------------------------------------------- *)
+
+let fresh_registry () =
+  let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+  Generic.register registry;
+  registry
+
+let dummy_plan i =
+  Plan.Scan { Plan.source = "src"; collection = Fmt.str "C%d" i; binding = "x" }
+
+let test_fifo_eviction () =
+  let registry = fresh_registry () in
+  let cache = Plancache.create ~capacity:3 () in
+  let add i = Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan i) (float_of_int i) in
+  let find i = Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan i) in
+  List.iter add [ 1; 2; 3 ];
+  Alcotest.(check int) "full" 3 (Plancache.size cache);
+  add 4;
+  Alcotest.(check int) "capacity kept" 3 (Plancache.size cache);
+  Alcotest.(check (option (float 0.))) "oldest evicted" None (find 1);
+  Alcotest.(check (option (float 0.))) "newest present" (Some 4.) (find 4);
+  Alcotest.(check int) "eviction counted" 1
+    (Plancache.counters cache).Plancache.evictions;
+  Plancache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Plancache.size cache)
+
+let test_objectives_are_distinct_keys () =
+  let registry = fresh_registry () in
+  let cache = Plancache.create () in
+  let plan = dummy_plan 1 in
+  Plancache.add cache registry ~objective:Ast.Total_time plan 10.;
+  Plancache.add cache registry ~objective:Ast.Time_first plan 2.;
+  Alcotest.(check (option (float 0.))) "total" (Some 10.)
+    (Plancache.find cache registry ~objective:Ast.Total_time plan);
+  Alcotest.(check (option (float 0.))) "first" (Some 2.)
+    (Plancache.find cache registry ~objective:Ast.Time_first plan)
+
+(* --- Invalidation ---------------------------------------------------------------- *)
+
+(* The test_core fixture: one source with statistics, plus optional extra
+   cost-language text. *)
+let emp = { Plan.source = "src"; collection = "Employee"; binding = "e" }
+let scan_emp = Plan.Scan emp
+let sel_salary v = Plan.Select (scan_emp, Pred.Cmp ("e.salary", Pred.Eq, Constant.Int v))
+
+let src_text extra =
+  Fmt.str
+    {|
+    source src {
+      interface Employee {
+        attribute long id;
+        attribute long salary;
+        cardinality extent(10000, 1200000, 120);
+        cardinality attribute(id, true, 10000, 1, 10000);
+        cardinality attribute(salary, true, 100, 1000, 30000);
+      }
+      %s
+    }
+    |}
+    extra
+
+let base_registry ?(extra = "") () =
+  let registry = fresh_registry () in
+  ignore (Registry.register_text registry ~what:"src" (src_text extra));
+  registry
+
+let total ?(source = "src") registry plan =
+  Estimator.total_time
+    (Estimator.estimate ~require_vars:[ Ast.Total_time ] ~source registry plan)
+
+(* The full invalidation contract for one mutation: a cached estimate of
+   [plan] is served before the write, the write bumps the generation, the
+   stale entry is dropped (counted) instead of served, and re-estimation
+   yields a different cost — the new model, not the cached one. *)
+let check_invalidates what registry ?source plan (mutate : unit -> unit) =
+  let cache = Plancache.create () in
+  let c0 = total ?source registry plan in
+  Plancache.add cache registry ~objective:Ast.Total_time plan c0;
+  Alcotest.(check (option (float 0.))) (what ^ ": warm hit") (Some c0)
+    (Plancache.find cache registry ~objective:Ast.Total_time plan);
+  let g0 = Registry.generation registry in
+  mutate ();
+  Alcotest.(check bool) (what ^ ": generation bumped") true
+    (Registry.generation registry > g0);
+  Alcotest.(check (option (float 0.))) (what ^ ": stale entry not served") None
+    (Plancache.find cache registry ~objective:Ast.Total_time plan);
+  Alcotest.(check int) (what ^ ": stale drop counted") 1
+    (Plancache.counters cache).Plancache.stale;
+  let c1 = total ?source registry plan in
+  Alcotest.(check bool) (what ^ ": re-estimation sees the new model") true
+    (bits c1 <> bits c0);
+  c1
+
+let parse_rule text = Parser.parse_rule ~what:"test rule" text
+
+let test_invalidate_add_rule () =
+  let registry = base_registry () in
+  let c1 =
+    check_invalidates "add_rule" registry (sel_salary 7) (fun () ->
+        ignore
+          (Registry.add_rule registry ~source:"src"
+             (parse_rule "rule select(Employee, P) { TotalTime = 42; }")))
+  in
+  Alcotest.(check (float 0.)) "new rule governs" 42. c1
+
+let test_invalidate_let_update () =
+  (* a [let] a rule depends on, updated by administrative re-registration *)
+  let extra coef =
+    Fmt.str "let Coef = %d; rule scan(C) { TotalTime = Coef * 10; }" coef
+  in
+  let registry = base_registry ~extra:(extra 5) () in
+  Alcotest.(check (float 0.)) "initial let" 50. (total registry scan_emp);
+  let c1 =
+    check_invalidates "let update" registry scan_emp (fun () ->
+        ignore
+          (Registry.register_source_decl registry
+             (Parser.parse_source ~what:"rereg" (src_text (extra 7)))))
+  in
+  Alcotest.(check (float 0.)) "updated let governs" 70. c1
+
+let test_invalidate_calibration_adjust () =
+  (* the adjustment factor applies through the generic submit rule *)
+  let registry = base_registry () in
+  let plan = Plan.Submit ("src", scan_emp) in
+  ignore
+    (check_invalidates "set_adjust" registry plan (fun () ->
+         Registry.set_adjust registry ~source:"src" 3.))
+
+let test_invalidate_history_exact () =
+  let registry = base_registry () in
+  let history = History.create ~mode:History.Exact registry in
+  let plan = sel_salary 9 in
+  let c1 =
+    check_invalidates "history exact" registry plan (fun () ->
+        History.observe history ~source:"src" ~plan
+          ~measured:[ (Ast.Total_time, 1234.) ] ~estimated_total:2000.)
+  in
+  Alcotest.(check (float 0.)) "measured cost governs" 1234. c1
+
+let test_invalidate_history_adjust () =
+  let registry = base_registry () in
+  let history = History.create ~mode:(History.Adjust { smoothing = 1.0 }) registry in
+  let plan = Plan.Submit ("src", scan_emp) in
+  let sub_est = total registry scan_emp in
+  ignore
+    (check_invalidates "history adjust" registry plan (fun () ->
+         History.observe history ~source:"src" ~plan:scan_emp
+           ~measured:[ (Ast.Total_time, sub_est *. 2.) ] ~estimated_total:sub_est))
+
+let test_invalidate_remove_query_rules () =
+  let registry = base_registry () in
+  let plan = sel_salary 11 in
+  ignore (Registry.add_query_rule registry ~source:"src" plan [ (Ast.Total_time, 777.) ]);
+  let c1 =
+    check_invalidates "remove_query_rules" registry plan (fun () ->
+        Registry.remove_query_rules registry ~source:"src")
+  in
+  Alcotest.(check bool) "historical cost gone" true (c1 <> 777.)
+
+let test_invalidate_clear_source () =
+  (* clear_source drops the source's rules; the registry falls back to the
+     generic model, so the estimate changes *)
+  let registry = base_registry ~extra:"rule scan(C) { TotalTime = 99; }" () in
+  Alcotest.(check (float 0.)) "source rule governs" 99. (total registry scan_emp);
+  let c1 =
+    check_invalidates "clear_source" registry scan_emp (fun () ->
+        Registry.clear_source registry ~source:"src")
+  in
+  Alcotest.(check bool) "generic model after clear" true (c1 <> 99.)
+
+let test_invalidate_register_adt () =
+  (* ADT cost exports feed adtcost(P)/selectivity; their arrival must
+     invalidate too *)
+  let registry = base_registry () in
+  let g0 = Registry.generation registry in
+  Registry.register_adt registry ~name:"contains" ~cost_ms:4.5 ~selectivity:0.1;
+  Alcotest.(check bool) "register_adt bumps generation" true
+    (Registry.generation registry > g0)
+
+let test_generation_stable_across_reads () =
+  (* estimation and cache traffic are reads: no bump *)
+  let registry = base_registry () in
+  let g0 = Registry.generation registry in
+  ignore (total registry scan_emp);
+  let cache = Plancache.create () in
+  Plancache.add cache registry ~objective:Ast.Total_time scan_emp 1.;
+  ignore (Plancache.find cache registry ~objective:Ast.Total_time scan_emp);
+  ignore (Registry.matching registry ~source:"src" scan_emp);
+  Alcotest.(check int) "reads do not bump" g0 (Registry.generation registry)
+
+let () =
+  Alcotest.run "plancache"
+    [ ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_differential; prop_objectives_differential ]
+        @ [ Alcotest.test_case "cache exercised" `Quick test_cache_was_exercised;
+            Alcotest.test_case "no-cache toggle" `Quick test_no_cache_flag_toggles ] );
+      ( "mechanics",
+        [ Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
+          Alcotest.test_case "objective keys" `Quick test_objectives_are_distinct_keys ] );
+      ( "invalidation",
+        [ Alcotest.test_case "add_rule" `Quick test_invalidate_add_rule;
+          Alcotest.test_case "let update" `Quick test_invalidate_let_update;
+          Alcotest.test_case "calibration adjust" `Quick test_invalidate_calibration_adjust;
+          Alcotest.test_case "history exact" `Quick test_invalidate_history_exact;
+          Alcotest.test_case "history adjust" `Quick test_invalidate_history_adjust;
+          Alcotest.test_case "remove_query_rules" `Quick test_invalidate_remove_query_rules;
+          Alcotest.test_case "clear_source" `Quick test_invalidate_clear_source;
+          Alcotest.test_case "register_adt" `Quick test_invalidate_register_adt;
+          Alcotest.test_case "reads stable" `Quick test_generation_stable_across_reads ] ) ]
