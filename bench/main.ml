@@ -16,14 +16,30 @@
      t7     — ADT operation costs: push vs defer an expensive predicate
      t8     — OO7 query workload accuracy (measured vs calibrated vs rules)
      cache  — two-level estimation cache: speedup + differential assertions
-     micro  — Bechamel micro-benchmarks of the mediator kernels *)
+     micro  — Bechamel micro-benchmarks of the mediator kernels
+     formula — cost-formula throughput, bytecode VM vs closure backend
+               (--json=PATH writes the BENCH JSON record to a file) *)
 
-let all = [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro" ]
+let all =
+  [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
+    "formula" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let small = List.mem "--small" args in
-  let wanted = List.filter (fun a -> a <> "--small") args in
+  let json_path =
+    List.find_map
+      (fun a ->
+        if String.length a > 7 && String.sub a 0 7 = "--json=" then
+          Some (String.sub a 7 (String.length a - 7))
+        else None)
+      args
+  in
+  let wanted =
+    List.filter
+      (fun a -> a <> "--small" && not (String.length a >= 7 && String.sub a 0 7 = "--json="))
+      args
+  in
   let wanted = if wanted = [] then all else wanted in
   let fig12_config =
     if small then
@@ -44,6 +60,7 @@ let () =
       | "t8" -> Oo7queries.print ?config:fig12_config ()
       | "cache" -> Cachebench.print ~smoke:small ()
       | "micro" -> Micro.print ()
+      | "formula" -> Micro.print_formula ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

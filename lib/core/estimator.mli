@@ -25,6 +25,12 @@ type provenance = { rule_id : int; rule_scope : Scope.t; rule_source : string }
 (** Which rule supplied a computed variable (for explain output and the
     scope-ablation benches). *)
 
+type ctx = {
+  registry : Registry.t;
+  abort_above : float option;
+  evals : int ref;  (** number of formula evaluations performed *)
+}
+
 type ann = {
   node : Plan.t;
   source : string;  (** source whose rules govern this node *)
@@ -45,12 +51,16 @@ and inst = {
   bindings : Rule.bindings;
   values : (string, Value.t) Hashtbl.t;
   mutable next_assign : int;
-}
-
-type ctx = {
-  registry : Registry.t;
-  abort_above : float option;
-  evals : int ref;  (** number of formula evaluations performed *)
+  mutable vmcache : Vm.ctx option;
+      (** bytecode evaluation context, allocated once per instance (carries
+          the per-instance dynamic-reference memo) *)
+  mutable vmpass : ctx option;
+      (** the estimation pass [vmcache] is pinned to; a new pass repins the
+          slot column without allocating *)
+  mutable vmgen : int;
+      (** registry generation the dynamic-reference memo was filled under;
+          the memo is dropped only when the generation moves, like the slot
+          banks *)
 }
 
 val make_ctx : ?abort_above:float -> ?evals:int ref -> Registry.t -> ctx

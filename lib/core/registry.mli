@@ -18,9 +18,17 @@ val mediator_source : string
 (** ["mediator"]: the pseudo-source owning local-scope rules; also the rule
     context of plan nodes outside any [submit]. *)
 
+(** Which formula backend newly registered rules compile to. [Bytecode]
+    (the default) runs the registration-time optimizer ({!Opt}) and the
+    flat VM ({!Vm}) with slot pre-resolution; [Closure] keeps the original
+    closure-tree backend ({!Compile}) as the differential reference. *)
+type backend = Closure | Bytecode
+
 type t
 
-val create : Catalog.t -> t
+val create : ?backend:backend -> Catalog.t -> t
+
+val backend : t -> backend
 
 val catalog : t -> Catalog.t
 

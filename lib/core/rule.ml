@@ -28,12 +28,19 @@ type kind =
   | Pattern of Ast.head
   | Exact of Plan.t   (* query-scope rules match one subplan structurally *)
 
+(* A compiled formula: bytecode ([Vm]) on the fast path, or the closure
+   reference backend when the registry runs with [Compile.Closure]. *)
+type code =
+  | Closure of Compile.compiled
+  | Prog of Vm.program
+
 type t = {
   id : int;
   scope : Scope.t;
   source : string;  (* owning source; "default" for the generic model *)
   kind : kind;
-  body : (Ast.target * Compile.compiled) list;
+  body : (Ast.target * code) list;
+  slots : Vm.slots;  (* pre-resolvable references shared by the body *)
   provides : Ast.cost_var list;
   (* Literal positions in the head: (collections, attributes, constants,
      shaped-predicate bonus); lexicographic, higher is more specific. *)

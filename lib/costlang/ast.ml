@@ -84,6 +84,26 @@ type target = Cost of cost_var | Local of string
 let target_of_name name =
   match cost_var_of_name name with Some v -> Cost v | None -> Local name
 
+let target_name = function Cost v -> cost_var_name v | Local name -> name
+
+(* Names bound by matching a head pattern: the free variables of its operand,
+   attribute and predicate positions. At evaluation time exactly these names
+   resolve through the match bindings, so a formula reference whose first
+   segment is one of them can never be pre-resolved at registration. *)
+let head_var_names (h : head) : string list =
+  let arg = function Pvar v -> [ v ] | Pname _ | Pconst _ -> [] in
+  let pred = function
+    | Ppred_var v -> [ v ]
+    | Pcmp (l, _, r) -> arg l @ arg r
+  in
+  match h with
+  | Hscan c | Hdedup c -> arg c
+  | Hselect (c, p) -> arg c @ pred p
+  | Hproject (c, a) | Hsort (c, a) | Haggregate (c, a) | Hsubmit (c, a)
+  | Hunion (c, a) ->
+    arg c @ arg a
+  | Hjoin (l, r, p) -> arg l @ arg r @ pred p
+
 type rule = {
   head : head;
   body : (target * expr) list;  (* in declaration order; scoping is sequential *)

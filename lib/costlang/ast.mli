@@ -66,6 +66,13 @@ type target = Cost of cost_var | Local of string
 
 val target_of_name : string -> target
 
+val target_name : target -> string
+
+val head_var_names : head -> string list
+(** Names bound by matching the head: the free variables of its operand,
+    attribute and predicate positions. References whose first segment is one
+    of these resolve through the match bindings, never statically. *)
+
 type rule = {
   head : head;
   body : (target * expr) list;  (** declaration order; scoping is sequential *)

@@ -49,10 +49,12 @@ let rec compile (e : Ast.expr) : compiled =
 let eval_num (c : compiled) ctx = Value.to_num (c ctx)
 
 (* A wrapper-defined function ([def f(x, y) = ...]): compiled once; at call
-   time the parameters shadow the ambient reference resolution. *)
-type def = { params : string list; body : compiled }
+   time the parameters shadow the ambient reference resolution. The source
+   AST is kept so the bytecode backend can inline non-recursive defs at rule
+   registration ([Opt.inline_defs]). *)
+type def = { params : string list; body : compiled; def_ast : Ast.expr }
 
-let compile_def ~params body = { params; body = compile body }
+let compile_def ~params body = { params; body = compile body; def_ast = body }
 
 let apply_def (d : def) (ctx : ctx) (args : Value.t list) : Value.t =
   if List.length args <> List.length d.params then

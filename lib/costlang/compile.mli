@@ -22,8 +22,10 @@ val compile : Ast.expr -> compiled
 val eval_num : compiled -> ctx -> float
 (** Evaluate and coerce to a number. *)
 
-(** A wrapper-defined function ([def f(x, y) = ...]). *)
-type def = { params : string list; body : compiled }
+(** A wrapper-defined function ([def f(x, y) = ...]). [def_ast] is the
+    source of [body], kept for registration-time inlining
+    ({!Opt.inline_defs}). *)
+type def = { params : string list; body : compiled; def_ast : Ast.expr }
 
 val compile_def : params:string list -> Ast.expr -> def
 

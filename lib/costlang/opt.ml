@@ -1,0 +1,151 @@
+(* Registration-time optimizer over cost-formula ASTs, run before bytecode
+   compilation (the "semi-compiled" step of paper §2.4 made real).
+
+   Every rewrite must be observationally equivalent to the closure reference
+   backend (lib/costlang/compile.ml) — the differential suite in
+   test/test_vm.ml asserts bit-identical values and identical Eval_error
+   behavior. That drives three restrictions:
+
+   - folding never removes a computation that can raise: [x / 0] is kept so
+     the division-by-zero error of the reference backend is reproduced, and
+     effect-dropping rewrites ([0 * x] -> [0]) only fire when [x] provably
+     cannot raise;
+
+   - identity rewrites ([x * 1] -> [x]) change the *representation* of the
+     result (the reference backend always returns a [Vnum]; [x] alone may
+     resolve to a [Vconst] or [Vname]), so they are only applied in numeric
+     context — operand positions of arithmetic, where the consumer coerces
+     with [Value.to_num] either way. Function-argument and assignment
+     positions keep the original shape;
+
+   - [def] inlining is beta reduction, which duplicates (params used twice)
+     or drops (params unused) argument evaluation. Arguments are therefore
+     restricted to atoms — literals, which cannot raise, or references,
+     which are pure and deterministic within one evaluation and which a
+     dropped-use mismatch can only affect if they fail to resolve, in which
+     case the argument must appear at least once in the body. *)
+
+(* --- Constant folding and algebraic simplification ------------------------ *)
+
+let binop_fn = function
+  | Ast.Add -> ( +. )
+  | Ast.Sub -> ( -. )
+  | Ast.Mul -> ( *. )
+  | Ast.Div -> ( /. )  (* only applied to folds with a nonzero divisor *)
+
+(* [e] can neither raise nor evaluate to a non-numeric value: literals and
+   division-free arithmetic over them. (References may fail to resolve or
+   resolve to names/predicates; calls may raise; division may divide by
+   zero.) *)
+let rec never_raises = function
+  | Ast.Num _ -> true
+  | Ast.Neg e -> never_raises e
+  | Ast.Binop (Ast.Div, _, _) -> false
+  | Ast.Binop (_, a, b) -> never_raises a && never_raises b
+  | Ast.Str _ | Ast.Ref _ | Ast.Call _ -> false
+
+(* Simplify one node whose children are already simplified. [num] marks
+   numeric context: the consumer coerces the result with [Value.to_num], so
+   rewrites that return a subterm of a different value representation are
+   allowed. *)
+let simplify_node ~num (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Neg (Ast.Num a) -> Ast.Num (-.a)
+  | Ast.Neg (Ast.Neg x) when num -> x
+  | Ast.Binop (Ast.Div, _, Ast.Num 0.) -> e  (* keep: must raise like the reference *)
+  | Ast.Binop (op, Ast.Num a, Ast.Num b) -> Ast.Num (binop_fn op a b)
+  | Ast.Binop (Ast.Mul, x, Ast.Num 1.) when num -> x
+  | Ast.Binop (Ast.Mul, Ast.Num 1., x) when num -> x
+  | Ast.Binop (Ast.Mul, x, Ast.Num 0.) when num && never_raises x -> Ast.Num 0.
+  | Ast.Binop (Ast.Mul, Ast.Num 0., x) when num && never_raises x -> Ast.Num 0.
+  | Ast.Binop (Ast.Add, x, Ast.Num 0.) when num -> x
+  | Ast.Binop (Ast.Add, Ast.Num 0., x) when num -> x
+  | Ast.Binop (Ast.Sub, x, Ast.Num 0.) when num -> x
+  | Ast.Binop (Ast.Div, x, Ast.Num 1.) when num -> x
+  | e -> e
+
+let rec simplify ?(num = false) (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Num _ | Ast.Str _ | Ast.Ref _ -> e
+  | Ast.Neg x -> simplify_node ~num (Ast.Neg (simplify ~num:true x))
+  | Ast.Binop (op, a, b) ->
+    simplify_node ~num (Ast.Binop (op, simplify ~num:true a, simplify ~num:true b))
+  | Ast.Call (name, args) ->
+    (* argument representations are observable (e.g. [selectivity(A, V)]
+       matches on constructors), so arguments are non-numeric context *)
+    Ast.Call (name, List.map (simplify ~num:false) args)
+
+(* --- Def inlining --------------------------------------------------------- *)
+
+(* An argument that is safe to substitute for a parameter: duplicating or
+   reordering its evaluation cannot change the result. Literals additionally
+   cannot raise, so they may be dropped (unused parameter); a reference may
+   fail to resolve, so it must survive at least once. *)
+let atom = function Ast.Num _ | Ast.Str _ | Ast.Ref _ -> true | _ -> false
+let droppable = function Ast.Num _ | Ast.Str _ -> true | _ -> false
+
+(* Occurrences of [name] as a whole single-segment reference — the only
+   positions [Compile.apply_def] shadows (a multi-segment [x.Stat] resolves
+   through the ambient context even when [x] is a parameter). *)
+let rec param_uses name = function
+  | Ast.Num _ | Ast.Str _ -> 0
+  | Ast.Ref [ x ] -> if String.equal x name then 1 else 0
+  | Ast.Ref _ -> 0
+  | Ast.Neg e -> param_uses name e
+  | Ast.Binop (_, a, b) -> param_uses name a + param_uses name b
+  | Ast.Call (_, args) ->
+    List.fold_left (fun acc a -> acc + param_uses name a) 0 args
+
+(* Simultaneous substitution of parameters by their (atomic) arguments.
+   Only whole single-segment references are replaced; a [Ref [p]] introduced
+   by the substitution itself is not revisited (single pass), matching the
+   reference semantics where an argument is evaluated in the caller's
+   context. *)
+let rec subst (bound : (string * Ast.expr) list) = function
+  | (Ast.Num _ | Ast.Str _) as e -> e
+  | Ast.Ref [ x ] as e ->
+    (match List.assoc_opt x bound with Some a -> a | None -> e)
+  | Ast.Ref _ as e -> e
+  | Ast.Neg e -> Ast.Neg (subst bound e)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, subst bound a, subst bound b)
+  | Ast.Call (name, args) -> Ast.Call (name, List.map (subst bound) args)
+
+let max_inline_depth = 16
+
+(* Inline calls to wrapper-defined functions. [lookup] returns the parameter
+   list and body AST of a def visible to the rule being compiled (its own
+   source's, falling back to the generic model's). Calls on a recursion
+   cycle, with an arity mismatch, or with non-atomic arguments are left for
+   the runtime [apply_def] path. *)
+let inline_defs ~(lookup : string -> (string list * Ast.expr) option) (e : Ast.expr) :
+    Ast.expr =
+  let rec go ~depth ~expanding e =
+    match e with
+    | Ast.Num _ | Ast.Str _ | Ast.Ref _ -> e
+    | Ast.Neg e -> Ast.Neg (go ~depth ~expanding e)
+    | Ast.Binop (op, a, b) ->
+      Ast.Binop (op, go ~depth ~expanding a, go ~depth ~expanding b)
+    | Ast.Call (name, args) ->
+      let args = List.map (go ~depth ~expanding) args in
+      let fallback () = Ast.Call (name, args) in
+      if depth >= max_inline_depth || List.mem name expanding then fallback ()
+      else
+        (match lookup name with
+         | None -> fallback ()
+         | Some (params, body) ->
+           if List.length params <> List.length args then fallback ()
+           else if not (List.for_all atom args) then fallback ()
+           else if
+             not
+               (List.for_all2
+                  (fun p a -> droppable a || param_uses p body >= 1)
+                  params args)
+           then fallback ()
+           else
+             let inlined = subst (List.combine params args) body in
+             go ~depth:(depth + 1) ~expanding:(name :: expanding) inlined)
+  in
+  go ~depth:0 ~expanding:[] e
+
+(* The full registration-time pipeline for one formula. *)
+let pipeline ~lookup (e : Ast.expr) : Ast.expr = simplify (inline_defs ~lookup e)

@@ -1,0 +1,31 @@
+(** Registration-time optimizer over cost-formula ASTs, run before bytecode
+    compilation ({!Vm}). Every rewrite is observationally equivalent to the
+    closure reference backend ({!Compile}): identical values (bit-for-bit)
+    and identical [Eval_error] behavior, as asserted by the differential
+    suite in [test/test_vm.ml]. *)
+
+val never_raises : Ast.expr -> bool
+(** [e] can neither raise nor evaluate to a non-numeric value: literals and
+    division-free arithmetic over them. *)
+
+val simplify : ?num:bool -> Ast.expr -> Ast.expr
+(** Constant folding plus algebraic simplification ([x*1], [x+0], [0*x] on
+    provably non-raising operands). [num] marks numeric context, where the
+    consumer coerces with [Value.to_num] and identity rewrites that change
+    the value representation are allowed; the default ([false]) is
+    representation-preserving. [x / 0] is never folded — it must raise like
+    the reference backend. *)
+
+val inline_defs :
+  lookup:(string -> (string list * Ast.expr) option) -> Ast.expr -> Ast.expr
+(** Beta-reduce calls to wrapper-defined functions whose definition [lookup]
+    returns. Only calls with atomic arguments (literals and references) are
+    inlined, and only when every non-literal argument is used at least once
+    in the body, so dropped or duplicated evaluations cannot change
+    behavior. Recursive cycles and arity mismatches are left for the runtime
+    [apply_def] path. *)
+
+val pipeline :
+  lookup:(string -> (string list * Ast.expr) option) -> Ast.expr -> Ast.expr
+(** The full registration-time pipeline for one formula: [inline_defs] then
+    [simplify]. *)

@@ -1,0 +1,631 @@
+(* Flat bytecode for cost formulas: the fast backend behind the paper's
+   "semi-compiled bytecode" shipping (§2.4).
+
+   A formula compiles once, at registration time, into a flat instruction
+   array executed over an explicit operand stack — no per-node closure
+   allocation and no tree walk at evaluation time. Two operand stacks are
+   used: arithmetic runs on an unboxed float stack (the numeric fast path);
+   values that must keep their representation — function arguments, string
+   literals, whole-formula results — live on a [Value.t] stack. The compiler
+   knows the context of every subterm, so each instruction targets exactly
+   one stack and the two never need a runtime tag.
+
+   References are split statically:
+
+   - *slot* references ([NSlot]/[VSlot]) have no dynamic segment — their
+     first segment is not a head variable, an earlier body local or a cost
+     variable, and no later segment is a head variable. They resolve to the
+     same value for a given (rule, evaluation source) while the cost model
+     is unchanged, so the estimator pre-resolves them into a per-rule slot
+     table stamped with {!Disco_core.Registry.generation} (see {!slots});
+
+   - *dynamic* references ([NRef]/[VRef]) go through the estimator's full
+     resolution (head bindings, child cost variables, body locals). The
+     body's distinct dynamic paths are interned at compile time, and a
+     per-rule-instance memo bank ([ctx.dmemo]) resolves each non-volatile
+     path once per instance evaluation — the closure backend re-resolves on
+     every occurrence.
+
+   Common subexpressions within one formula are evaluated once and reused
+   via a temporary bank ([NStore]/[NLoad]); the store happens at the first
+   occurrence in evaluation order, so error behavior matches the reference
+   closure backend. *)
+
+open Disco_common
+
+type instr =
+  (* numeric fast path: operates on the float stack *)
+  | NPush of float
+  | NSlot of int            (* pre-resolved reference, coerced to a number *)
+  | NRef of int             (* dynamic reference (index into dpaths), coerced *)
+  | NCall of string * int   (* args on the value stack; numeric result *)
+  | NNeg
+  | NAdd
+  | NSub
+  | NMul
+  | NDiv
+  | NLoad of int            (* push temporary [i] *)
+  | NStore of int           (* copy the top of the float stack into temporary [i] *)
+  | NOfV                    (* move: pop the value stack, coerce, push float *)
+  | NWrap                   (* move: pop the float stack, push [Vnum] *)
+  (* value path: operates on the Value.t stack, preserving representation *)
+  | VPush of Value.t
+  | VSlot of int
+  | VRef of int
+  | VCall of string * int
+
+(* Operand stacks and the CSE temporary bank, sized exactly for one program.
+   Each program owns one scratch buffer reused across its evaluations (the
+   estimator runs millions of small programs per optimization); re-entrant
+   evaluation of the same program — a call or dynamic reference that
+   evaluates it again — falls back to a fresh allocation. *)
+type scratch = {
+  f : float array;   (* float operand stack *)
+  v : Value.t array; (* value operand stack *)
+  t : float array;   (* CSE temporary bank *)
+}
+
+(* Executable form: one packed int per instruction — opcode in the low five
+   bits, operand above — so the dispatch loop is a jump table fed by a
+   single unboxed array load. [code] keeps the symbolic instructions for
+   disassembly and the one-instruction fast path. *)
+type program = {
+  code : instr array;
+  insns : int array;           (* op lor (arg lsl 5); see [assemble] *)
+  nums : float array;          (* NPush literals *)
+  vals : Value.t array;        (* VPush literals *)
+  names : string array;        (* call names *)
+  fdepth : int;                (* float stack capacity *)
+  vdepth : int;                (* value stack capacity *)
+  ntmps : int;                 (* CSE temporary bank size *)
+  scratch : scratch;
+  mutable busy : bool;         (* scratch in use by an in-flight evaluation *)
+}
+
+let op_npush = 0
+and op_nslot = 1
+and op_nref = 2
+and op_ncall = 3
+and op_nneg = 4
+and op_nadd = 5
+and op_nsub = 6
+and op_nmul = 7
+and op_ndiv = 8
+and op_nload = 9
+and op_nstore = 10
+and op_nofv = 11
+and op_nwrap = 12
+and op_vpush = 13
+and op_vslot = 14
+and op_vref = 15
+and op_vcall = 16
+
+let zero = Value.Vnum 0.
+
+let assemble (code : instr array) =
+  let n = Array.length code in
+  let insns = Array.make n 0 in
+  let rev_nums = ref [] and nnums = ref 0 in
+  let rev_vals = ref [] and nvals = ref 0 in
+  let rev_names = ref [] and nnames = ref 0 in
+  let num f =
+    rev_nums := f :: !rev_nums;
+    incr nnums;
+    !nnums - 1
+  in
+  let value v =
+    rev_vals := v :: !rev_vals;
+    incr nvals;
+    !nvals - 1
+  in
+  let name s =
+    rev_names := s :: !rev_names;
+    incr nnames;
+    !nnames - 1
+  in
+  Array.iteri
+    (fun pc instr ->
+      let op, arg =
+        match instr with
+        | NPush f -> (op_npush, num f)
+        | NSlot i -> (op_nslot, i)
+        | NRef i -> (op_nref, i)
+        | NCall (f, argc) -> (op_ncall, (name f lsl 8) lor argc)
+        | NNeg -> (op_nneg, 0)
+        | NAdd -> (op_nadd, 0)
+        | NSub -> (op_nsub, 0)
+        | NMul -> (op_nmul, 0)
+        | NDiv -> (op_ndiv, 0)
+        | NLoad i -> (op_nload, i)
+        | NStore i -> (op_nstore, i)
+        | NOfV -> (op_nofv, 0)
+        | NWrap -> (op_nwrap, 0)
+        | VPush v -> (op_vpush, value v)
+        | VSlot i -> (op_vslot, i)
+        | VRef i -> (op_vref, i)
+        | VCall (f, argc) -> (op_vcall, (name f lsl 8) lor argc)
+      in
+      insns.(pc) <- op lor (arg lsl 5))
+    code;
+  ( insns,
+    Array.of_list (List.rev !rev_nums),
+    Array.of_list (List.rev !rev_vals),
+    Array.of_list (List.rev !rev_names) )
+
+let make_program code ~fdepth ~vdepth ~ntmps : program =
+  let insns, nums, vals, names = assemble code in
+  { code; insns; nums; vals; names; fdepth; vdepth; ntmps;
+    scratch =
+      { f = Array.make fdepth 0.;
+        v = Array.make (max 1 vdepth) zero;
+        t = Array.make ntmps 0. };
+    busy = false }
+
+(* --- Slot tables ---------------------------------------------------------- *)
+
+(* The per-rule table of pre-resolvable reference paths, shared by every
+   formula of the rule's body. Resolved values are cached per evaluation
+   source (a Default-scope rule evaluates under many sources; the same path
+   may resolve differently per source through the catalog) and stamped with
+   the registry generation under which they were resolved: any cost-model
+   write bumps the generation, and the next evaluation re-resolves instead
+   of serving stale statistics (calibration and historical updates, §4.3). *)
+(* One cache column: the resolved values plus a pre-coerced float mirror so
+   the numeric fast path reads an unboxed float straight out of an array.
+   [bstate.(i)] is ['\000'] while slot [i] is unresolved, ['\001'] when the
+   resolved value coerced to a number (then [bnums.(i)] holds it), and
+   ['\002'] when it resolved to something non-numeric (a name, a string
+   constant) — numeric use then re-coerces and fails with the same error
+   the closure backend raises. Resolution failures cache nothing. *)
+type bank = {
+  bvals : Value.t option array;
+  bnums : float array;
+  bstate : Bytes.t;
+}
+
+let empty_bank = { bvals = [||]; bnums = [||]; bstate = Bytes.empty }
+
+let new_bank n =
+  { bvals = Array.make n None; bnums = Array.make n 0.;
+    bstate = Bytes.make n '\000' }
+
+let clear_bank (b : bank) =
+  if Array.length b.bvals > 0 then begin
+    Array.fill b.bvals 0 (Array.length b.bvals) None;
+    Bytes.fill b.bstate 0 (Bytes.length b.bstate) '\000'
+  end
+
+type slots = {
+  spaths : string list array;
+  dpaths : string list array;
+      (* the body's distinct dynamic reference paths, interned so one
+         rule-instance evaluation resolves each path once through the
+         [ctx.dmemo] bank *)
+  dvolatile : bool array;
+      (* paths whose first segment names a body target or cost variable:
+         their resolution can change as body assignments complete, so they
+         are never memoized within the instance *)
+  mutable sgen : int;  (* generation of the cached entries; min_int = none *)
+  mutable scache : (string * bank) list;  (* per source *)
+}
+
+let empty_slots () =
+  { spaths = [||]; dpaths = [||]; dvolatile = [||]; sgen = min_int; scache = [] }
+
+let slot_count (s : slots) = Array.length s.spaths
+
+let dyn_count (s : slots) = Array.length s.dpaths
+
+let dyn_path (s : slots) i = s.dpaths.(i)
+
+let dyn_volatile (s : slots) i = s.dvolatile.(i)
+
+(* Fetch (or create) the cache column for [source], dropping every cached
+   value when the model generation moved. *)
+let slot_cache (s : slots) ~generation ~source : bank =
+  if s.sgen <> generation then begin
+    s.scache <- [];
+    s.sgen <- generation
+  end;
+  match List.assoc_opt source s.scache with
+  | Some bank -> bank
+  | None ->
+    let bank = new_bank (Array.length s.spaths) in
+    s.scache <- (source, bank) :: s.scache;
+    bank
+
+let slot_path (s : slots) i = s.spaths.(i)
+
+(* --- Compilation ---------------------------------------------------------- *)
+
+type builder = {
+  mutable rev_paths : string list list;
+  mutable nslots : int;
+  interned : (string, int) Hashtbl.t;  (* key: joined path *)
+  mutable rev_dyn : (string list * bool) list;
+  mutable ndyn : int;
+  dinterned : (string, int) Hashtbl.t;
+}
+
+let new_builder () =
+  { rev_paths = []; nslots = 0; interned = Hashtbl.create 8;
+    rev_dyn = []; ndyn = 0; dinterned = Hashtbl.create 8 }
+
+let intern (b : builder) (path : string list) : int =
+  let key = String.concat "\x00" path in
+  match Hashtbl.find_opt b.interned key with
+  | Some i -> i
+  | None ->
+    let i = b.nslots in
+    b.rev_paths <- path :: b.rev_paths;
+    b.nslots <- i + 1;
+    Hashtbl.add b.interned key i;
+    i
+
+let intern_dyn (b : builder) (path : string list) ~volatile : int =
+  let key = String.concat "\x00" path in
+  match Hashtbl.find_opt b.dinterned key with
+  | Some i -> i
+  | None ->
+    let i = b.ndyn in
+    b.rev_dyn <- (path, volatile) :: b.rev_dyn;
+    b.ndyn <- i + 1;
+    Hashtbl.add b.dinterned key i;
+    i
+
+let finish (b : builder) : slots =
+  let dyn = Array.of_list (List.rev b.rev_dyn) in
+  { spaths = Array.of_list (List.rev b.rev_paths);
+    dpaths = Array.map fst dyn;
+    dvolatile = Array.map snd dyn;
+    sgen = min_int;
+    scache = [] }
+
+(* Count how often each CSE-able subterm occurs in numeric context. Only
+   numeric-context occurrences share a (float) temporary: the same subterm
+   used as a function argument must keep its value representation and is
+   left alone. *)
+let count_shared (top : Ast.expr) : (Ast.expr, int) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let rec go ~num e =
+    (match e with
+     | Ast.Num _ | Ast.Str _ -> ()
+     | Ast.Ref _ | Ast.Neg _ | Ast.Binop _ | Ast.Call _ ->
+       if num then
+         Hashtbl.replace tbl e (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e)));
+    match e with
+    | Ast.Num _ | Ast.Str _ | Ast.Ref _ -> ()
+    | Ast.Neg x -> go ~num:true x
+    | Ast.Binop (_, a, b) ->
+      go ~num:true a;
+      go ~num:true b
+    | Ast.Call (_, args) -> List.iter (go ~num:false) args
+  in
+  go ~num:false top;
+  tbl
+
+(* Compile one formula. [dynamic_first] holds for first path segments that
+   resolve per evaluation (head variables, earlier body locals, cost
+   variables); [head_var] for names bound by head matching (they are
+   substituted into later path segments at resolution time). *)
+let compile (b : builder) ~(dynamic_first : string -> bool)
+    ?(volatile_first = fun (_ : string) -> false) ~(head_var : string -> bool)
+    (e : Ast.expr) : program =
+  let shared = count_shared e in
+  let assigned : (Ast.expr, int) Hashtbl.t = Hashtbl.create 8 in
+  let ntmps = ref 0 in
+  let rev_code = ref [] in
+  let cur_f = ref 0 and max_f = ref 0 and cur_v = ref 0 and max_v = ref 0 in
+  let emit i =
+    (match i with
+     | NPush _ | NSlot _ | NRef _ | NLoad _ ->
+       incr cur_f;
+       max_f := max !max_f !cur_f
+     | NCall (_, argc) ->
+       cur_v := !cur_v - argc;
+       incr cur_f;
+       max_f := max !max_f !cur_f
+     | NAdd | NSub | NMul | NDiv -> decr cur_f
+     | NNeg | NStore _ -> ()
+     | NOfV ->
+       decr cur_v;
+       incr cur_f;
+       max_f := max !max_f !cur_f
+     | NWrap ->
+       decr cur_f;
+       incr cur_v;
+       max_v := max !max_v !cur_v
+     | VPush _ | VSlot _ | VRef _ ->
+       incr cur_v;
+       max_v := max !max_v !cur_v
+     | VCall (_, argc) ->
+       cur_v := !cur_v - argc + 1;
+       max_v := max !max_v !cur_v);
+    rev_code := i :: !rev_code
+  in
+  let static path =
+    match path with
+    | [] -> false  (* resolve dynamically so the "empty reference" error matches *)
+    | x :: rest ->
+      (not (dynamic_first x)) && not (List.exists head_var rest)
+  in
+  let ref_instr ~num path =
+    if static path then
+      let i = intern b path in
+      emit (if num then NSlot i else VSlot i)
+    else
+      let volatile = match path with [] -> true | x :: _ -> volatile_first x in
+      let i = intern_dyn b path ~volatile in
+      emit (if num then NRef i else VRef i)
+  in
+  let rec cval e =
+    match e with
+    | Ast.Num f -> emit (VPush (Value.Vnum f))
+    | Ast.Str s -> emit (VPush (Value.Vconst (Constant.String s)))
+    | Ast.Ref path -> ref_instr ~num:false path
+    | Ast.Neg _ | Ast.Binop _ ->
+      cnum e;
+      emit NWrap
+    | Ast.Call (name, args) ->
+      List.iter cval args;
+      emit (VCall (name, List.length args))
+  and cnum e =
+    match e with
+    | Ast.Num _ | Ast.Str _ -> cnum_raw e
+    | _ ->
+      if Option.value ~default:0 (Hashtbl.find_opt shared e) >= 2 then (
+        match Hashtbl.find_opt assigned e with
+        | Some i -> emit (NLoad i)
+        | None ->
+          cnum_raw e;
+          let i = !ntmps in
+          incr ntmps;
+          Hashtbl.add assigned e i;
+          emit (NStore i))
+      else cnum_raw e
+  and cnum_raw e =
+    match e with
+    | Ast.Num f -> emit (NPush f)
+    | Ast.Str s ->
+      (* coerces (and fails) exactly like the reference backend *)
+      emit (VPush (Value.Vconst (Constant.String s)));
+      emit NOfV
+    | Ast.Ref path -> ref_instr ~num:true path
+    | Ast.Neg x ->
+      cnum x;
+      emit NNeg
+    | Ast.Binop (op, a, b) ->
+      cnum a;
+      cnum b;
+      emit (match op with Ast.Add -> NAdd | Ast.Sub -> NSub | Ast.Mul -> NMul | Ast.Div -> NDiv)
+    | Ast.Call (name, args) ->
+      List.iter cval args;
+      emit (NCall (name, List.length args))
+  in
+  cval e;
+  let code = Array.of_list (List.rev !rev_code) in
+  make_program code ~fdepth:!max_f ~vdepth:!max_v ~ntmps:!ntmps
+
+(* --- Execution ------------------------------------------------------------ *)
+
+type ctx = {
+  mutable bank : bank;            (* slot cache column (see [slot_cache]);
+                                     mutable so a long-lived ctx can be
+                                     repinned to the current generation's
+                                     column at the start of each pass *)
+  dmemo : bank;                   (* per-instance dynamic-reference memo *)
+  slots : slots;
+  resolve : string list -> Value.t;
+  call : string -> Value.t list -> Value.t;
+}
+
+let div_error = Err.Eval_error "division by zero in cost formula"
+
+(* First touch of a slot under the current (generation, source): resolve,
+   cache the value, and classify it so later numeric reads are a plain
+   float-array load. If [c.resolve] raises, nothing is cached and the next
+   evaluation retries. *)
+let resolve_slot (c : ctx) (i : int) : Value.t =
+  let v = c.resolve (Array.unsafe_get c.slots.spaths i) in
+  let b = c.bank in
+  b.bvals.(i) <- Some v;
+  (match Value.to_num v with
+   | f ->
+     b.bnums.(i) <- f;
+     Bytes.set b.bstate i '\001'
+   | exception _ -> Bytes.set b.bstate i '\002');
+  v
+
+let slot_value (c : ctx) (i : int) : Value.t =
+  if Bytes.get c.bank.bstate i = '\000' then resolve_slot c i
+  else
+    match c.bank.bvals.(i) with
+    | Some v -> v
+    | None -> assert false
+
+(* Numeric slot read off the fast path: unresolved or non-numeric. The
+   non-numeric case re-coerces so the error matches the closure backend. *)
+let slot_num_slow (c : ctx) (i : int) : float = Value.to_num (slot_value c i)
+
+(* Dynamic reference [i]: resolve through the estimator, memoizing in
+   [c.dmemo] unless the path is volatile (its resolution may change as body
+   assignments complete). The memo lives for one rule-instance evaluation —
+   resolution there is deterministic (bindings are fixed, body locals are
+   write-once, child cost variables are memoized by the estimator), where
+   the closure backend re-resolves every occurrence. Resolution failures
+   cache nothing. *)
+let dyn_value (c : ctx) (i : int) : Value.t =
+  let m = c.dmemo in
+  if Bytes.get m.bstate i <> '\000' then
+    match m.bvals.(i) with
+    | Some v -> v
+    | None -> assert false
+  else begin
+    let v = c.resolve (Array.unsafe_get c.slots.dpaths i) in
+    if not (Array.unsafe_get c.slots.dvolatile i) then begin
+      m.bvals.(i) <- Some v;
+      (match Value.to_num v with
+       | f ->
+         m.bnums.(i) <- f;
+         Bytes.set m.bstate i '\001'
+       | exception _ -> Bytes.set m.bstate i '\002')
+    end;
+    v
+  end
+
+let dyn_num_slow (c : ctx) (i : int) : float = Value.to_num (dyn_value c i)
+
+let acquire (p : program) : scratch =
+  if p.busy then
+    (* re-entrant evaluation of this very program; rare *)
+    { f = Array.make (Array.length p.scratch.f) 0.;
+      v = Array.make (Array.length p.scratch.v) zero;
+      t = Array.make (Array.length p.scratch.t) 0. }
+  else begin
+    p.busy <- true;
+    p.scratch
+  end
+
+let release (p : program) (s : scratch) = if s == p.scratch then p.busy <- false
+
+(* Pop [argc] values off [vstack] into a list, preserving argument order. *)
+let rec collect_args (vstack : Value.t array) base i acc =
+  if i < base then acc
+  else collect_args vstack base (i - 1) (Array.unsafe_get vstack i :: acc)
+
+(* The dispatch loop is tail-recursive with [pc] and both stack pointers as
+   parameters: without flambda a [ref] cell costs a real load/store per
+   update, while parameters of a tail loop live in registers. *)
+let exec_loop (p : program) (c : ctx) (s : scratch) : Value.t =
+  let insns = p.insns in
+  let stop = Array.length insns in
+  let fstack = s.f and vstack = s.v and tmps = s.t in
+  let bnums = c.bank.bnums and bstate = c.bank.bstate in
+  let dnums = c.dmemo.bnums and dstate = c.dmemo.bstate in
+  let rec loop pc fsp vsp =
+    if pc = stop then Array.unsafe_get vstack (vsp - 1)
+    else
+      let w = Array.unsafe_get insns pc in
+      let arg = w lsr 5 in
+      match w land 0x1f with
+      | 0 (* op_npush *) ->
+        Array.unsafe_set fstack fsp (Array.unsafe_get p.nums arg);
+        loop (pc + 1) (fsp + 1) vsp
+      | 1 (* op_nslot *) ->
+        let f =
+          if Bytes.unsafe_get bstate arg = '\001' then Array.unsafe_get bnums arg
+          else slot_num_slow c arg
+        in
+        Array.unsafe_set fstack fsp f;
+        loop (pc + 1) (fsp + 1) vsp
+      | 2 (* op_nref *) ->
+        let f =
+          if Bytes.unsafe_get dstate arg = '\001' then Array.unsafe_get dnums arg
+          else dyn_num_slow c arg
+        in
+        Array.unsafe_set fstack fsp f;
+        loop (pc + 1) (fsp + 1) vsp
+      | 3 (* op_ncall *) ->
+        let base = vsp - (arg land 0xff) in
+        let actuals = collect_args vstack base (vsp - 1) [] in
+        Array.unsafe_set fstack fsp
+          (Value.to_num (c.call (Array.unsafe_get p.names (arg lsr 8)) actuals));
+        loop (pc + 1) (fsp + 1) base
+      | 4 (* op_nneg *) ->
+        Array.unsafe_set fstack (fsp - 1) (-.Array.unsafe_get fstack (fsp - 1));
+        loop (pc + 1) fsp vsp
+      | 5 (* op_nadd *) ->
+        Array.unsafe_set fstack (fsp - 2)
+          (Array.unsafe_get fstack (fsp - 2) +. Array.unsafe_get fstack (fsp - 1));
+        loop (pc + 1) (fsp - 1) vsp
+      | 6 (* op_nsub *) ->
+        Array.unsafe_set fstack (fsp - 2)
+          (Array.unsafe_get fstack (fsp - 2) -. Array.unsafe_get fstack (fsp - 1));
+        loop (pc + 1) (fsp - 1) vsp
+      | 7 (* op_nmul *) ->
+        Array.unsafe_set fstack (fsp - 2)
+          (Array.unsafe_get fstack (fsp - 2) *. Array.unsafe_get fstack (fsp - 1));
+        loop (pc + 1) (fsp - 1) vsp
+      | 8 (* op_ndiv *) ->
+        let y = Array.unsafe_get fstack (fsp - 1) in
+        if y = 0. then raise div_error;
+        Array.unsafe_set fstack (fsp - 2) (Array.unsafe_get fstack (fsp - 2) /. y);
+        loop (pc + 1) (fsp - 1) vsp
+      | 9 (* op_nload *) ->
+        Array.unsafe_set fstack fsp (Array.unsafe_get tmps arg);
+        loop (pc + 1) (fsp + 1) vsp
+      | 10 (* op_nstore *) ->
+        Array.unsafe_set tmps arg (Array.unsafe_get fstack (fsp - 1));
+        loop (pc + 1) fsp vsp
+      | 11 (* op_nofv *) ->
+        Array.unsafe_set fstack fsp (Value.to_num (Array.unsafe_get vstack (vsp - 1)));
+        loop (pc + 1) (fsp + 1) (vsp - 1)
+      | 12 (* op_nwrap *) ->
+        Array.unsafe_set vstack vsp (Value.Vnum (Array.unsafe_get fstack (fsp - 1)));
+        loop (pc + 1) (fsp - 1) (vsp + 1)
+      | 13 (* op_vpush *) ->
+        Array.unsafe_set vstack vsp (Array.unsafe_get p.vals arg);
+        loop (pc + 1) fsp (vsp + 1)
+      | 14 (* op_vslot *) ->
+        Array.unsafe_set vstack vsp (slot_value c arg);
+        loop (pc + 1) fsp (vsp + 1)
+      | 15 (* op_vref *) ->
+        Array.unsafe_set vstack vsp (dyn_value c arg);
+        loop (pc + 1) fsp (vsp + 1)
+      | _ (* op_vcall *) ->
+        let base = vsp - (arg land 0xff) in
+        let actuals = collect_args vstack base (vsp - 1) [] in
+        Array.unsafe_set vstack base
+          (c.call (Array.unsafe_get p.names (arg lsr 8)) actuals);
+        loop (pc + 1) fsp (base + 1)
+  in
+  loop 0 0 0
+
+let exec (p : program) (c : ctx) : Value.t =
+  (* one-instruction programs (constant rules, bare references) skip the
+     stack machinery entirely *)
+  if Array.length p.code = 1 then
+    match Array.unsafe_get p.code 0 with
+    | VPush v -> v
+    | VSlot i -> slot_value c i
+    | VRef i -> dyn_value c i
+    | VCall (name, 0) -> c.call name []
+    | _ -> assert false (* a 1-instruction program always yields a value *)
+  else begin
+    let s = acquire p in
+    match exec_loop p c s with
+    | v ->
+      release p s;
+      v
+    | exception e ->
+      release p s;
+      raise e
+  end
+
+(* A trivial program for a numeric constant (query-scope historical rules). *)
+let const_program (f : float) : program =
+  make_program [| VPush (Value.Vnum f) |] ~fdepth:0 ~vdepth:1 ~ntmps:0
+
+let instr_count (p : program) = Array.length p.code
+
+let pp_instr ppf = function
+  | NPush f -> Fmt.pf ppf "npush %g" f
+  | NSlot i -> Fmt.pf ppf "nslot %d" i
+  | NRef i -> Fmt.pf ppf "nref %d" i
+  | NCall (f, n) -> Fmt.pf ppf "ncall %s/%d" f n
+  | NNeg -> Fmt.string ppf "nneg"
+  | NAdd -> Fmt.string ppf "nadd"
+  | NSub -> Fmt.string ppf "nsub"
+  | NMul -> Fmt.string ppf "nmul"
+  | NDiv -> Fmt.string ppf "ndiv"
+  | NLoad i -> Fmt.pf ppf "nload %d" i
+  | NStore i -> Fmt.pf ppf "nstore %d" i
+  | NOfV -> Fmt.string ppf "nofv"
+  | NWrap -> Fmt.string ppf "nwrap"
+  | VPush v -> Fmt.pf ppf "vpush %a" Value.pp v
+  | VSlot i -> Fmt.pf ppf "vslot %d" i
+  | VRef i -> Fmt.pf ppf "vref %d" i
+  | VCall (f, n) -> Fmt.pf ppf "vcall %s/%d" f n
+
+let pp ppf (p : program) =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.array ~sep:Fmt.cut pp_instr) p.code

@@ -1,0 +1,169 @@
+(** Flat bytecode for cost formulas — the fast backend behind the paper's
+    "semi-compiled bytecode" shipping (§2.4).
+
+    A formula compiles once, at registration time, into a flat instruction
+    array executed over explicit operand stacks: an unboxed float stack for
+    arithmetic (the numeric fast path) and a {!Value.t} stack for positions
+    where the representation is observable (function arguments, results).
+    Statistics references with no dynamic path segment are pre-resolved
+    into {e slots} cached per rule and invalidated by the registry
+    generation stamp; everything else resolves dynamically through the
+    estimator, memoized per rule-instance evaluation (see {!ctx}). *)
+
+type instr =
+  | NPush of float
+  | NSlot of int
+  | NRef of int
+  | NCall of string * int
+  | NNeg
+  | NAdd
+  | NSub
+  | NMul
+  | NDiv
+  | NLoad of int
+  | NStore of int
+  | NOfV
+  | NWrap
+  | VPush of Value.t
+  | VSlot of int
+  | VRef of int
+  | VCall of string * int
+
+type scratch
+(** Operand stacks sized for one program, owned by it and reused across its
+    evaluations; re-entrant evaluation falls back to a fresh allocation. *)
+
+(** A compiled formula. [code] is the symbolic form (disassembly, fast
+    paths); [insns] is the packed executable form — one int per
+    instruction, opcode in the low five bits — that the dispatch loop runs
+    on, with the literal pools alongside. *)
+type program = private {
+  code : instr array;
+  insns : int array;
+  nums : float array;
+  vals : Value.t array;
+  names : string array;
+  fdepth : int;
+  vdepth : int;
+  ntmps : int;
+  scratch : scratch;
+  mutable busy : bool;
+}
+
+(** {1 Slot tables}
+
+    The per-rule table of pre-resolvable reference paths, shared by all
+    formulas of a rule body. Resolved values are cached per evaluation
+    source and stamped with the {!Disco_core.Registry.generation} under
+    which they were resolved; a model write bumps the generation and the
+    next evaluation re-resolves instead of serving stale statistics. *)
+
+type bank = {
+  bvals : Value.t option array;  (** resolved values ([None] = unresolved) *)
+  bnums : float array;           (** pre-coerced numeric mirror *)
+  bstate : Bytes.t;
+      (** ['\000'] unresolved, ['\001'] numeric (read [bnums]), ['\002']
+          resolved but non-numeric *)
+}
+(** One resolution-cache column: resolved values plus an unboxed float
+    mirror so numeric reads are a plain array load on the hot path. Used
+    both for slot caches (per (generation, source)) and for the
+    per-rule-instance dynamic-reference memo. *)
+
+val empty_bank : bank
+(** The shared empty column (rules with no slots / no dynamic refs). *)
+
+val new_bank : int -> bank
+(** A fresh all-unresolved column of the given width. *)
+
+val clear_bank : bank -> unit
+(** Reset every entry to unresolved (for reusing a memo across passes). *)
+
+type slots = {
+  spaths : string list array;
+  dpaths : string list array;
+  dvolatile : bool array;
+  mutable sgen : int;
+  mutable scache : (string * bank) list;
+}
+
+val empty_slots : unit -> slots
+(** A fresh table with no slots (closure-backend rules, constant rules). *)
+
+val slot_count : slots -> int
+
+val slot_path : slots -> int -> string list
+
+val dyn_count : slots -> int
+(** Number of distinct dynamic reference paths across the rule body. *)
+
+val dyn_path : slots -> int -> string list
+
+val dyn_volatile : slots -> int -> bool
+(** Whether {!dyn_path}[ i] starts with a body-target or cost-variable name.
+    Such paths may resolve differently as body assignments complete, so they
+    are excluded from the per-instance dynamic-reference memo. *)
+
+val slot_cache : slots -> generation:int -> source:string -> bank
+(** The cache column for [source], dropping all cached values first if the
+    stamp differs from [generation]. Entries are unresolved until the
+    [resolve] callback fills them on first touch. *)
+
+(** {1 Compilation} *)
+
+type builder
+(** Accumulates the slot table across all formulas of one rule body. *)
+
+val new_builder : unit -> builder
+
+val finish : builder -> slots
+
+val compile :
+  builder ->
+  dynamic_first:(string -> bool) ->
+  ?volatile_first:(string -> bool) ->
+  head_var:(string -> bool) ->
+  Ast.expr ->
+  program
+(** Compile one formula. [dynamic_first] must hold for reference first
+    segments that resolve per evaluation (head variables, earlier body
+    locals, cost variable names); [head_var] for names bound by head
+    matching, which are substituted into later path segments at resolution
+    time. References that pass both checks become slots. Numeric-context
+    common subexpressions are computed once and reused through a temporary
+    bank, preserving the reference backend's evaluation-order effects. *)
+
+val const_program : float -> program
+(** A program returning [Vnum f] (query-scope historical rules). *)
+
+(** {1 Execution} *)
+
+type ctx = {
+  mutable bank : bank;
+      (** slot cache column for this evaluation; mutable so a long-lived
+          per-instance ctx is repinned to the current generation's column
+          at the start of each estimation pass instead of reallocated *)
+  dmemo : bank;
+      (** per-rule-instance dynamic-reference memo, one entry per
+          {!dyn_path}. Each distinct non-volatile path resolves once per
+          instance (resolution is deterministic there — bindings are fixed,
+          child cost variables are memoized, and anything
+          assignment-dependent is classified volatile and never cached),
+          where the closure backend re-resolves every occurrence. The
+          caller drops it when the registry generation moves, the same
+          invalidation contract as the slot banks. *)
+  slots : slots;
+  resolve : string list -> Value.t;  (** full resolution of one path *)
+  call : string -> Value.t list -> Value.t;
+}
+
+val exec : program -> ctx -> Value.t
+(** Run the program. Raises {!Err.Eval_error} exactly where the closure
+    backend does (division by zero, non-numeric coercion, resolution
+    failures surfaced by [ctx]). Re-entrant: [ctx] callbacks may evaluate
+    other programs. *)
+
+val instr_count : program -> int
+
+val pp : program Fmt.t
+(** Disassembly, for debugging and tests. *)

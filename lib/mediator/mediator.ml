@@ -26,9 +26,9 @@ type t = {
   mutable wrappers : (string * Wrapper.t) list;
 }
 
-let create ?calibration ?(history_mode = History.Off) ?(cache = true) () =
+let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true) () =
   let catalog = Catalog.create () in
-  let registry = Registry.create catalog in
+  let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
   { catalog;
     registry;

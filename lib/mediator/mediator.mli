@@ -17,11 +17,13 @@ open Disco_sql
 type t
 
 val create :
-  ?calibration:Generic.calibration -> ?history_mode:History.mode ->
-  ?cache:bool -> unit -> t
-(** A fresh mediator with its generic cost model installed. [cache] (default
-    on) enables the cross-query plan/cost cache; disabling it is the
-    reference behavior the differential tests compare against. *)
+  ?backend:Registry.backend -> ?calibration:Generic.calibration ->
+  ?history_mode:History.mode -> ?cache:bool -> unit -> t
+(** A fresh mediator with its generic cost model installed. [backend]
+    selects the formula backend (bytecode by default; [Registry.Closure] is
+    the differential reference). [cache] (default on) enables the
+    cross-query plan/cost cache; disabling it is the reference behavior the
+    differential tests compare against. *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t

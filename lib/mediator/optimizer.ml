@@ -58,16 +58,47 @@ let submit_base (b : base) : Plan.t =
   let residual = base_residual b in
   if Pred.equal residual Pred.True then p else Plan.Select (p, residual)
 
-(* Join predicates of [spec] crossing between alias sets [s1] and [s2]. *)
-let connecting spec s1 s2 =
-  List.filter_map
-    (fun (a, b, p) ->
-      if
-        (Aliases.mem a s1 && Aliases.mem b s2)
-        || (Aliases.mem a s2 && Aliases.mem b s1)
-      then Some p
-      else None)
-    spec.joins
+(* Per-alias index of the join predicates touching each alias, built once
+   per enumeration/optimization. [connecting] visits only the joins adjacent
+   to the smaller side of a split instead of scanning the full [spec.joins]
+   list for every split of every subset. Entries carry their position in
+   [spec.joins] so the connecting conjunction keeps declaration order,
+   exactly as the direct scan produced it. *)
+type adjacency = (string, (int * string * string * Pred.t) list) Hashtbl.t
+
+let adjacency_of (spec : spec) : adjacency =
+  let adj : adjacency = Hashtbl.create 16 in
+  let add alias e =
+    Hashtbl.replace adj alias
+      (e :: Option.value ~default:[] (Hashtbl.find_opt adj alias))
+  in
+  List.iteri
+    (fun i (a, b, p) ->
+      let e = (i, a, b, p) in
+      add a e;
+      add b e)
+    spec.joins;
+  adj
+
+(* Join predicates crossing between the disjoint alias sets [s1] and [s2],
+   in [spec.joins] order. Each crossing join is adjacent to exactly one
+   alias of the side we iterate (its endpoints lie in different sets), so no
+   deduplication is needed. *)
+let connecting (adj : adjacency) s1 s2 =
+  let smaller, other =
+    if Aliases.cardinal s1 <= Aliases.cardinal s2 then (s1, s2) else (s2, s1)
+  in
+  let hits = ref [] in
+  Aliases.iter
+    (fun alias ->
+      List.iter
+        (fun (i, a, b, p) ->
+          let o = if String.equal a alias then b else a in
+          if Aliases.mem o other then hits := (i, p) :: !hits)
+        (Option.value ~default:[] (Hashtbl.find_opt adj alias)))
+    smaller;
+  List.map snd
+    (List.sort (fun (i, _) (j, _) -> Int.compare i j) !hits)
 
 (* A candidate subplan during enumeration: either still inside one wrapper
    (unwrapped), or already a mediator-side plan whose leaves are submits. *)
@@ -96,8 +127,9 @@ let wrap (c : candidate) : candidate =
    costs are asymmetric: the inner input may be probed via an index).
    Wrapper-side joins are only possible when both sides live in the same
    source. *)
-let combine spec (l : candidate) (r : candidate) : candidate list =
-  let preds = connecting spec l.aliases r.aliases in
+let combine spec (adj : adjacency) (l : candidate) (r : candidate) :
+    candidate list =
+  let preds = connecting adj l.aliases r.aliases in
   if preds = [] then []
   else
     let pred = Pred.conj preds in
@@ -141,6 +173,7 @@ let splits = function
 
 (* All complete mediator-side plans joining every base (small N only). *)
 let enumerate (spec : spec) : Plan.t list =
+  let adj = adjacency_of spec in
   let rec gen (bs : base list) : candidate list =
     match bs with
     | [] -> []
@@ -153,7 +186,7 @@ let enumerate (spec : spec) : Plan.t list =
       List.concat_map
         (fun (lbs, rbs) ->
           List.concat_map
-            (fun l -> List.concat_map (fun r -> combine spec l r) (gen rbs))
+            (fun l -> List.concat_map (fun r -> combine spec adj l r) (gen rbs))
             (gen lbs))
         (splits bs)
   in
@@ -254,9 +287,10 @@ module Key = struct
 end
 
 (* DP over alias subsets: for each subset keep the best candidate per site
-   (one per source for unwrapped plans, one mediator-side). [memo] (default
-   on) shares subtree annotations across the run — the DP re-costs the same
-   candidate on every [put] comparison and its candidates overlap massively,
+   (one per source for unwrapped plans, one mediator-side), stored with its
+   cost so each candidate is costed exactly once per run — the incumbent's
+   stored cost is compared against, never recomputed. [memo] (default on)
+   shares subtree annotations across the run — candidates overlap massively,
    so without sharing the estimator re-runs formulas on identical subtrees
    thousands of times. [cache] is the cross-query cache; both only change
    what is recomputed, never the costs, so the chosen plan is identical with
@@ -266,27 +300,31 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
   if spec.bases = [] then raise (Err.Plan_error "query has no relations");
   let stats = new_stats () in
   let memo = if memo then Some (Estimator.new_memo ()) else None in
+  let adj = adjacency_of spec in
   let cost plan =
     match cost_of ~objective ?memo ?cache registry stats plan with
     | Some c -> c
     | None -> infinity
   in
-  let table : (Key.t, candidate list) Hashtbl.t = Hashtbl.create 64 in
+  let table : (Key.t, (candidate * float) list) Hashtbl.t = Hashtbl.create 64 in
   let put (c : candidate) =
     let key = Key.of_aliases c.aliases in
     let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
     (* keep at most one candidate per site *)
-    let same_site (x : candidate) =
+    let same_site ((x : candidate), _) =
       match x.site, c.site with
       | At_mediator, At_mediator -> true
       | At_source a, At_source b -> String.equal a b
       | _ -> false
     in
     match List.find_opt same_site existing with
-    | Some old when cost old.plan <= cost c.plan -> ()
-    | Some old ->
-      Hashtbl.replace table key (c :: List.filter (fun x -> x != old) existing)
-    | None -> Hashtbl.replace table key (c :: existing)
+    | Some ((_, old_cost) as entry) ->
+      let c_cost = cost c.plan in
+      if old_cost <= c_cost then ()
+      else
+        Hashtbl.replace table key
+          ((c, c_cost) :: List.filter (fun e -> e != entry) existing)
+    | None -> Hashtbl.replace table key ((c, cost c.plan) :: existing)
   in
   (* singletons *)
   List.iter
@@ -328,9 +366,9 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
             match Hashtbl.find_opt table lkey, Hashtbl.find_opt table rkey with
             | Some ls, Some rs ->
               List.iter
-                (fun l ->
+                (fun (l, _) ->
                   List.iter
-                    (fun r -> List.iter put (combine spec l r))
+                    (fun (r, _) -> List.iter put (combine spec adj l r))
                     rs)
                 ls
             | _ -> ())
@@ -345,15 +383,18 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
       (Err.Plan_error
          "no complete plan found (disconnected join graph without cross joins)")
   | Some cands ->
-    let wrapped = List.map wrap cands in
     (match
        List.fold_left
-         (fun best c ->
-           let cst = cost c.plan in
+         (fun best (c, stored) ->
+           let w = wrap c in
+           (* wrapping is the identity on mediator-side candidates, whose
+              stored cost is still exact; wrapper-side candidates change
+              plan (submit + residual) and are costed once here *)
+           let cst = if w == c then stored else cost w.plan in
            match best with
            | Some (_, b) when b <= cst -> best
-           | _ -> Some (c.plan, cst))
-         None wrapped
+           | _ -> Some (w.plan, cst))
+         None cands
      with
      | Some result -> result
      | None -> assert false)

@@ -1,0 +1,459 @@
+(* Differential tests for the bytecode formula backend: the registration-time
+   optimizer (Opt) plus the flat VM (Vm) must be observationally equivalent to
+   the closure reference backend (Compile) — bit-identical values and identical
+   Eval_error behavior — and pre-resolved statistics slots must be invalidated
+   by the registry generation stamp, never served stale. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_costlang
+open Disco_core
+open Disco_wrapper
+open Disco_mediator
+module A = Ast
+
+(* --- A self-contained evaluation environment ---------------------------------
+
+   Mirrors the estimator's contract: a reference resolver (raising Eval_error
+   for unknown paths), wrapper defs applied through the closure machinery on
+   both backends, and a few context functions — including [isname], which
+   observes the representation of its argument and so catches any rewrite that
+   illegally changes a value's constructor. *)
+
+let head_vars = [ "C"; "A" ]
+let head_var x = List.mem x head_vars
+let dynamic_first x = head_var x || x = "Local1" || Option.is_some (A.cost_var_of_name x)
+
+let ref_pool : (string list * Value.t) list =
+  [ ([ "S1" ], Value.Vnum 3.5);
+    ([ "S2" ], Value.Vnum 0.);
+    ([ "T"; "CountObject" ], Value.Vnum 100.);
+    ([ "T"; "id"; "Min" ], Value.Vconst (Constant.Int 7));
+    ([ "NameRef" ], Value.Vname "salary");
+    ([ "C" ], Value.Vname "Employee");
+    ([ "C"; "CountObject" ], Value.Vnum 250.);
+    ([ "Local1" ], Value.Vnum 5.);
+    ([ "S2"; "A" ], Value.Vnum 9.) ]
+
+let res path =
+  match List.assoc_opt path ref_pool with
+  | Some v -> v
+  | None -> raise (Err.Eval_error (Fmt.str "unresolved %s" (String.concat "." path)))
+
+let defs : (string * Compile.def) list =
+  [ ("dbl", Compile.compile_def ~params:[ "x" ] A.(Binop (Mul, Ref [ "x" ], Num 2.)));
+    ( "wavg",
+      Compile.compile_def ~params:[ "x"; "y" ]
+        A.(Binop (Div, Binop (Add, Ref [ "x" ], Ref [ "y" ]), Num 2.)) );
+    ("konst", Compile.compile_def ~params:[ "x" ] (A.Num 42.)) ]
+
+let def_lookup name =
+  Option.map (fun (d : Compile.def) -> (d.Compile.params, d.Compile.def_ast))
+    (List.assoc_opt name defs)
+
+let rec cctx = { Compile.resolve_ref = res; call = callf }
+
+and callf name args =
+  match List.assoc_opt name defs with
+  | Some def -> Compile.apply_def def cctx args
+  | None ->
+    (match (name, args) with
+     | "min2", [ a; b ] -> Value.Vnum (Float.min (Value.to_num a) (Value.to_num b))
+     | "isname", [ a ] ->
+       Value.Vnum (match a with Value.Vname _ -> 1. | _ -> 0.)
+     | "ceil", [ a ] -> Value.Vnum (Float.ceil (Value.to_num a))
+     | _ -> raise (Err.Eval_error ("unknown function " ^ name)))
+
+type outcome = Ok_v of Value.t | Raised of string
+
+let run f = try Ok_v (f ()) with Err.Eval_error m -> Raised m
+
+let closure_eval e = run (fun () -> Compile.compile e cctx)
+
+(* Compile with the full pipeline and execute twice over the same slot table:
+   the second run must serve cached slots and still agree. *)
+let vm_eval e =
+  let e' = Opt.pipeline ~lookup:def_lookup e in
+  let b = Vm.new_builder () in
+  let prog = Vm.compile b ~dynamic_first ~head_var e' in
+  let slots = Vm.finish b in
+  let exec () =
+    let bank =
+      if Vm.slot_count slots = 0 then Vm.empty_bank
+      else Vm.slot_cache slots ~generation:1 ~source:"s"
+    in
+    let ctx =
+      { Vm.bank; dmemo = Vm.new_bank (Vm.dyn_count slots); slots;
+        resolve = res; call = callf }
+    in
+    Vm.exec prog ctx
+  in
+  (run exec, run exec)
+
+let same_float x y =
+  Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  || (x = 0. && y = 0.)
+  || (Float.is_nan x && Float.is_nan y)
+
+let same_value a b =
+  match (a, b) with
+  | Value.Vnum x, Value.Vnum y -> same_float x y
+  | Value.Vconst c1, Value.Vconst c2 -> Constant.equal c1 c2
+  | Value.Vname n1, Value.Vname n2 -> String.equal n1 n2
+  | Value.Vpred p1, Value.Vpred p2 -> p1 = p2
+  | _ -> false
+
+(* The backends may evaluate operands in a different order, so when both
+   raise we compare only the fact of the Eval_error, not its message. *)
+let same_outcome a b =
+  match (a, b) with
+  | Ok_v va, Ok_v vb -> same_value va vb
+  | Raised _, Raised _ -> true
+  | _ -> false
+
+let pp_outcome ppf = function
+  | Ok_v v -> Value.pp ppf v
+  | Raised m -> Fmt.pf ppf "Eval_error %S" m
+
+let check_differential e =
+  let c = closure_eval e in
+  let v1, v2 = vm_eval e in
+  if not (same_outcome c v1) then
+    Alcotest.failf "backends disagree: closure %a, vm %a" pp_outcome c pp_outcome v1;
+  if not (same_outcome v1 v2) then
+    Alcotest.failf "vm unstable across slot-cached runs: %a then %a" pp_outcome v1
+      pp_outcome v2;
+  true
+
+(* --- Random well-typed cost ASTs -------------------------------------------- *)
+
+let gen_expr : A.expr QCheck2.Gen.t =
+  QCheck2.Gen.(
+    let num =
+      map (fun i -> A.Num (List.nth [ 0.; 1.; -1.; 2.5; 0.1; 1e6; 7.; 1e308 ] i))
+        (int_range 0 7)
+    in
+    let reference =
+      let paths = [ "Missing" ] :: List.map fst ref_pool in
+      map (fun i -> A.Ref (List.nth paths i)) (int_range 0 (List.length paths - 1))
+    in
+    let leaf = oneof [ num; num; reference ] in
+    let rec tree n =
+      if n = 0 then leaf
+      else
+        let sub = tree (n - 1) in
+        oneof
+          [ leaf;
+            map (fun e -> A.Neg e) sub;
+            (let op =
+               map (fun i -> List.nth [ A.Add; A.Sub; A.Mul; A.Div ] i) (int_range 0 3)
+             in
+             map3 (fun op a b -> A.Binop (op, a, b)) op sub sub);
+            (let call1 =
+               map (fun i -> List.nth [ "dbl"; "konst"; "isname"; "ceil"; "nosuch" ] i)
+                 (int_range 0 4)
+             in
+             map2 (fun f a -> A.Call (f, [ a ])) call1 sub);
+            (let call2 = map (fun i -> List.nth [ "wavg"; "min2" ] i) (int_range 0 1) in
+             map3 (fun f a b -> A.Call (f, [ a; b ])) call2 sub sub) ]
+    in
+    tree 4)
+
+let prop_backends_agree =
+  QCheck2.Test.make ~name:"vm = closure on random formulas" ~count:2000 gen_expr
+    check_differential
+
+(* --- Hand-picked differential cases ------------------------------------------ *)
+
+let test_differential_cases () =
+  let cases =
+    A.
+      [ (* division by zero must raise on both backends, never fold away *)
+        Binop (Div, Num 1., Num 0.);
+        Binop (Div, Ref [ "S1" ], Ref [ "S2" ]);
+        Binop (Div, Num 0., Num 0.);
+        (* a zero multiplier must not erase a raising operand *)
+        Binop (Mul, Num 0., Ref [ "Missing" ]);
+        Binop (Mul, Num 0., Binop (Div, Num 1., Num 0.));
+        (* representation is observable in argument position: x*1 / x+0 stay *)
+        Call ("isname", [ Ref [ "C" ] ]);
+        Call ("isname", [ Binop (Mul, Ref [ "S1" ], Num 1.) ]);
+        Call ("isname", [ Ref [ "T"; "id"; "Min" ] ]);
+        (* def calls: inlinable, constant-foldable, unknown-arity, recursive *)
+        Call ("dbl", [ Ref [ "S1" ] ]);
+        Call ("dbl", [ Num 21. ]);
+        Call ("wavg", [ Ref [ "T"; "CountObject" ]; Ref [ "C"; "CountObject" ] ]);
+        Call ("konst", [ Ref [ "Missing" ] ]);
+        Call ("dbl", [ Num 1.; Num 2. ]);
+        Call ("nosuch", [ Num 1. ]);
+        (* mixed static/dynamic references and negation *)
+        Neg (Binop (Add, Ref [ "Local1" ], Ref [ "S2"; "A" ]));
+        Binop (Sub, Neg (Num 0.), Num 0.);
+        Binop (Add, Binop (Mul, Ref [ "S1" ], Ref [ "S1" ]), Binop (Mul, Ref [ "S1" ], Ref [ "S1" ]));
+        Ref [ "Missing" ] ]
+  in
+  List.iter (fun e -> ignore (check_differential e)) cases
+
+(* --- The optimizer's rewrite rules ------------------------------------------- *)
+
+let expr = Alcotest.testable (fun ppf (_ : A.expr) -> Fmt.pf ppf "<expr>") ( = )
+
+let test_simplify () =
+  let x = A.Ref [ "X" ] in
+  Alcotest.check expr "constant folding" (A.Num 5.)
+    (Opt.simplify A.(Binop (Add, Num 2., Num 3.)));
+  Alcotest.check expr "x * 1 in numeric context" x
+    (Opt.simplify ~num:true A.(Binop (Mul, x, Num 1.)));
+  Alcotest.check expr "x + 0 in numeric context" x
+    (Opt.simplify ~num:true A.(Binop (Add, Num 0., x)));
+  (* in value context the representation (Vnum vs Vconst/Vname) is observable *)
+  Alcotest.check expr "x * 1 preserved in value context"
+    A.(Binop (Mul, x, Num 1.))
+    (Opt.simplify A.(Binop (Mul, x, Num 1.)));
+  (* effects are preserved *)
+  Alcotest.check expr "x / 0 never folds"
+    A.(Binop (Div, Num 1., Num 0.))
+    (Opt.simplify ~num:true A.(Binop (Div, Num 1., Num 0.)));
+  Alcotest.check expr "0 * ref keeps the (possibly raising) ref"
+    A.(Binop (Mul, Num 0., x))
+    (Opt.simplify ~num:true A.(Binop (Mul, Num 0., x)));
+  Alcotest.check expr "0 * literal folds" (A.Num 0.)
+    (Opt.simplify ~num:true A.(Binop (Mul, Num 0., Num 17.)));
+  Alcotest.check expr "double negation in numeric context" x
+    (Opt.simplify ~num:true A.(Neg (Neg x)))
+
+let test_inline_defs () =
+  let lookup = def_lookup in
+  Alcotest.check expr "wrapper def inlined"
+    A.(Binop (Mul, Ref [ "X" ], Num 2.))
+    (Opt.inline_defs ~lookup A.(Call ("dbl", [ Ref [ "X" ] ])));
+  Alcotest.check expr "pipeline folds inlined constants" (A.Num 42.)
+    (Opt.pipeline ~lookup A.(Call ("dbl", [ Num 21. ])));
+  (* a non-atomic argument would be duplicated or re-evaluated: leave it *)
+  let fat = A.(Call ("dbl", [ Binop (Add, Ref [ "X" ], Ref [ "Y" ]) ])) in
+  Alcotest.check expr "non-atomic argument not inlined" fat (Opt.inline_defs ~lookup fat);
+  (* arity mismatches go to the runtime path, which raises *)
+  let bad = A.(Call ("dbl", [ Num 1.; Num 2. ])) in
+  Alcotest.check expr "arity mismatch untouched" bad (Opt.inline_defs ~lookup bad);
+  (* recursion terminates and keeps a runtime call *)
+  let rec_lookup = function
+    | "r" -> Some ([ "x" ], A.(Binop (Add, Call ("r", [ Ref [ "x" ] ]), Num 1.)))
+    | _ -> None
+  in
+  let e = A.(Call ("r", [ Num 0. ])) in
+  Alcotest.(check bool) "recursive def terminates" true
+    (match Opt.inline_defs ~lookup:rec_lookup e with _ -> true)
+
+(* --- Slot tables -------------------------------------------------------------- *)
+
+let test_slot_cache () =
+  let b = Vm.new_builder () in
+  let _p =
+    Vm.compile b ~dynamic_first ~head_var A.(Binop (Add, Ref [ "S1" ], Ref [ "T"; "CountObject" ]))
+  in
+  let slots = Vm.finish b in
+  Alcotest.(check int) "two slots collected" 2 (Vm.slot_count slots);
+  let bank = Vm.slot_cache slots ~generation:1 ~source:"s" in
+  bank.Vm.bvals.(0) <- Some (Value.Vnum 1.);
+  let bank' = Vm.slot_cache slots ~generation:1 ~source:"s" in
+  Alcotest.(check bool) "same generation keeps cached values" true
+    (bank == bank' && bank'.Vm.bvals.(0) = Some (Value.Vnum 1.));
+  let other = Vm.slot_cache slots ~generation:1 ~source:"t" in
+  Alcotest.(check bool) "per-source columns" true (other.Vm.bvals.(0) = None);
+  let bank2 = Vm.slot_cache slots ~generation:2 ~source:"s" in
+  Alcotest.(check bool) "generation bump drops the cache" true
+    (bank2.Vm.bvals.(0) = None)
+
+let test_slot_sharing_across_body () =
+  (* one rule body: the same static path in two formulas shares one slot *)
+  let b = Vm.new_builder () in
+  let _ = Vm.compile b ~dynamic_first ~head_var A.(Binop (Mul, Ref [ "S1" ], Num 2.)) in
+  let _ = Vm.compile b ~dynamic_first ~head_var A.(Binop (Add, Ref [ "S1" ], Ref [ "S2" ])) in
+  let slots = Vm.finish b in
+  Alcotest.(check int) "shared slot" 2 (Vm.slot_count slots)
+
+let test_dynamic_refs_not_slotted () =
+  let b = Vm.new_builder () in
+  let _ =
+    Vm.compile b ~dynamic_first ~head_var
+      A.(Binop (Add, Ref [ "C"; "CountObject" ], Binop (Add, Ref [ "Local1" ], Ref [ "S2"; "A" ])))
+  in
+  let slots = Vm.finish b in
+  Alcotest.(check int) "head-var, local and head-var-segment paths stay dynamic" 0
+    (Vm.slot_count slots)
+
+(* --- End-to-end: both backends drive identical optimizer decisions ------------ *)
+
+let fed_queries =
+  [ "select e.id from Employee e where e.salary > 25000";
+    "select e.id, p.id from Employee e, Project p \
+     where e.dept_id = p.dept_id and e.salary > 28000 and p.cost < 8000";
+    "select e.id, l.rating, p.id from Employee e, Listing l, Project p \
+     where l.emp_id = e.id and e.dept_id = p.dept_id \
+     and e.salary > 28500 and p.cost < 6500";
+    "select t.id, p.kind from Task t, Project p \
+     where t.project_id = p.id and t.hours > 380";
+    "select e.dept_id, count(*) as n from Employee e group by e.dept_id \
+     order by n desc limit 5";
+    "select * from Department d order by d.id" ]
+
+let make_fed backend =
+  let med = Mediator.create ~backend () in
+  List.iter (Mediator.register med) (Demo.make ~sizes:Demo.small_sizes ());
+  med
+
+let test_federation_differential () =
+  let med_c = make_fed Registry.Closure in
+  let med_b = make_fed Registry.Bytecode in
+  List.iter
+    (fun q ->
+      let plan_c, cost_c = Mediator.plan_query med_c q in
+      let plan_b, cost_b = Mediator.plan_query med_b q in
+      Alcotest.(check bool) (Fmt.str "identical plan for %S" q) true
+        (Plan.equal plan_c plan_b);
+      Alcotest.(check bool) (Fmt.str "bit-identical cost for %S" q) true
+        (same_float cost_c cost_b))
+    fed_queries
+
+let make_oo7 backend =
+  let catalog = Disco_catalog.Catalog.create () in
+  let registry = Registry.create ~backend catalog in
+  Generic.register registry;
+  let source = Disco_oo7.Oo7.make_source ~config:Disco_oo7.Oo7.small_config () in
+  ignore (Registry.register_source_decl registry (Wrapper.registration_decl source));
+  registry
+
+let test_oo7_differential () =
+  let reg_c = make_oo7 Registry.Closure in
+  let reg_b = make_oo7 Registry.Bytecode in
+  List.iter
+    (fun (name, plan) ->
+      let est r = Estimator.estimate ~source:"oo7" r plan in
+      let tc = Estimator.total_time (est reg_c) and tb = Estimator.total_time (est reg_b) in
+      Alcotest.(check bool) (Fmt.str "bit-identical total for %s" name) true
+        (same_float tc tb);
+      List.iter
+        (fun v ->
+          match (Estimator.var (est reg_c) v, Estimator.var (est reg_b) v) with
+          | Some a, Some b ->
+            Alcotest.(check bool)
+              (Fmt.str "bit-identical %s for %s" (A.cost_var_name v) name)
+              true (same_float a b)
+          | None, None -> ()
+          | _ -> Alcotest.failf "variable coverage differs for %s" name)
+        A.all_cost_vars)
+    (Disco_oo7.Oo7.queries Disco_oo7.Oo7.small_config)
+
+(* --- Invalidation: generation bumps must defeat pre-resolved slots ------------ *)
+
+let test_calibration_update_invalidates_slots () =
+  (* The wrapper rule references the generic parameter IO, which pre-resolves
+     into a slot. Re-registering the generic model with a new calibration does
+     NOT recompile the wrapper's rule — only the generation stamp protects us
+     from serving the stale coefficient. *)
+  let catalog = Disco_catalog.Catalog.create () in
+  let registry = Registry.create catalog in
+  Generic.register registry;
+  ignore
+    (Registry.register_text registry ~what:"src"
+       {| source src {
+            interface Employee {
+              attribute long id;
+              cardinality extent(1000, 120000, 120);
+            }
+            rule scan(C) { TotalTime = IO * 10; }
+          } |});
+  let scan =
+    Disco_algebra.Plan.Scan { Disco_algebra.Plan.source = "src"; collection = "Employee"; binding = "e" }
+  in
+  let total () =
+    Estimator.total_time (Estimator.estimate ~source:"src" registry scan)
+  in
+  Alcotest.(check (float 0.)) "initial coefficient" 250. (total ());
+  let gen0 = Registry.generation registry in
+  Generic.register
+    ~calibration:{ Generic.default_calibration with Generic.io_ms = 100. }
+    registry;
+  Alcotest.(check bool) "re-registration bumps the generation" true
+    (Registry.generation registry > gen0);
+  Alcotest.(check (float 0.)) "next evaluation sees the new coefficient" 1000. (total ())
+
+let test_statistics_update_invalidates_slots () =
+  (* Same shape for catalog statistics: the rule pre-resolves
+     Employee.CountObject; re-registering the source with a new extent must be
+     visible immediately. *)
+  let catalog = Disco_catalog.Catalog.create () in
+  let registry = Registry.create catalog in
+  Generic.register registry;
+  let text count =
+    Fmt.str
+      {| source src {
+           interface Employee {
+             attribute long id;
+             cardinality extent(%d, 120000, 120);
+           }
+           rule scan(Employee) { TotalTime = Employee.CountObject / 10; }
+         } |}
+      count
+  in
+  ignore (Registry.register_text registry ~what:"src" (text 1000));
+  let scan =
+    Disco_algebra.Plan.Scan { Disco_algebra.Plan.source = "src"; collection = "Employee"; binding = "e" }
+  in
+  let total () = Estimator.total_time (Estimator.estimate ~source:"src" registry scan) in
+  Alcotest.(check (float 0.)) "initial statistics" 100. (total ());
+  ignore (Registry.register_text registry ~what:"src" (text 5000));
+  Alcotest.(check (float 0.)) "refreshed statistics" 500. (total ())
+
+let test_history_feedback_after_preresolution () =
+  (* Historical feedback arriving after rules were compiled and slots resolved:
+     an adjustment factor (paper §4.3.1) and a query-scope record must both be
+     reflected in the next evaluation. *)
+  let med = make_fed Registry.Bytecode in
+  let registry = Mediator.registry med in
+  (* the files source exports no rules: its submit estimate comes from the
+     generic rule, which consults the adjust(W) factor *)
+  let q = "select doc.doc_id from Document doc where doc.bytes > 50000" in
+  let _, cost0 = Mediator.plan_query med q in
+  Registry.set_adjust registry ~source:"files" 4.;
+  let _, cost1 = Mediator.plan_query med q in
+  Alcotest.(check bool) "adjustment factor raises the submit estimate" true
+    (cost1 > cost0);
+  Registry.set_adjust registry ~source:"files" 1.;
+  let _, cost2 = Mediator.plan_query med q in
+  Alcotest.(check bool) "factor reset restores the estimate" true (same_float cost2 cost0)
+
+let test_calibrated_backends_agree () =
+  (* after a live calibration update, the two backends still agree bit-for-bit *)
+  let cal = { Generic.default_calibration with Generic.io_ms = 60.; output_ms = 2. } in
+  let q = "select e.id from Employee e where e.salary > 25000" in
+  let med_b = make_fed Registry.Bytecode in
+  Generic.register ~calibration:cal (Mediator.registry med_b);
+  let med_c = make_fed Registry.Closure in
+  Generic.register ~calibration:cal (Mediator.registry med_c);
+  let plan_b, cost_b = Mediator.plan_query med_b q in
+  let plan_c, cost_c = Mediator.plan_query med_c q in
+  Alcotest.(check bool) "same plan after calibration" true (Plan.equal plan_b plan_c);
+  Alcotest.(check bool) "bit-identical cost after calibration" true
+    (same_float cost_b cost_c)
+
+let () =
+  Alcotest.run "vm"
+    [ ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_backends_agree;
+          Alcotest.test_case "hand-picked cases" `Quick test_differential_cases ] );
+      ( "optimizer",
+        [ Alcotest.test_case "simplify" `Quick test_simplify;
+          Alcotest.test_case "def inlining" `Quick test_inline_defs ] );
+      ( "slots",
+        [ Alcotest.test_case "cache and generation" `Quick test_slot_cache;
+          Alcotest.test_case "sharing across a body" `Quick test_slot_sharing_across_body;
+          Alcotest.test_case "dynamic refs stay dynamic" `Quick test_dynamic_refs_not_slotted ] );
+      ( "end to end",
+        [ Alcotest.test_case "federation plans and costs" `Quick test_federation_differential;
+          Alcotest.test_case "oo7 estimates" `Quick test_oo7_differential ] );
+      ( "invalidation",
+        [ Alcotest.test_case "calibration update" `Quick test_calibration_update_invalidates_slots;
+          Alcotest.test_case "statistics update" `Quick test_statistics_update_invalidates_slots;
+          Alcotest.test_case "history feedback" `Quick test_history_feedback_after_preresolution;
+          Alcotest.test_case "calibrated backends agree" `Quick test_calibrated_backends_agree ] ) ]
