@@ -18,11 +18,13 @@
      cache  — two-level estimation cache: speedup + differential assertions
      micro  — Bechamel micro-benchmarks of the mediator kernels
      formula — cost-formula throughput, bytecode VM vs closure backend
-               (--json=PATH writes the BENCH JSON record to a file) *)
+               (--json=PATH writes the BENCH JSON record to a file)
+     faults — fault injection: zero-fault differential, determinism,
+              availability vs latency sweep (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula" ]
+    "formula"; "faults" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -61,6 +63,7 @@ let () =
       | "cache" -> Cachebench.print ~smoke:small ()
       | "micro" -> Micro.print ()
       | "formula" -> Micro.print_formula ~smoke:small ?json_path ()
+      | "faults" -> Faults.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

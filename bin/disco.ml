@@ -37,6 +37,15 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let fault_arg =
+  let doc =
+    "Install fault-injection profiles, e.g. \
+     $(b,web:err=0.3@40,spike=0.2@500;files:outage=0-5000). Fields: seed=N, \
+     spike=P@MS, err=P[@MS], stall=P, outage=A-B, stallwin=A-B (times in \
+     simulated ms)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-profile" ] ~docv:"SPEC" ~doc)
+
 let history_mode = function
   | "off" -> History.Off
   | "exact" -> History.Exact
@@ -52,7 +61,7 @@ let objective_of = function
   | "first" -> Optimizer.First_tuple
   | other -> Fmt.failwith "unknown objective %S (total|first)" other
 
-let make_mediator ?(no_cache = false) ~small ~seed ~history ~no_rules () =
+let make_mediator ?(no_cache = false) ?fault ~small ~seed ~history ~no_rules () =
   let sizes = if small then Demo.small_sizes else Demo.default_sizes in
   let wrappers = Demo.make ~seed ~sizes () in
   let wrappers =
@@ -62,6 +71,15 @@ let make_mediator ?(no_cache = false) ~small ~seed ~history ~no_rules () =
     Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache) ()
   in
   List.iter (Mediator.register med) wrappers;
+  (match fault with
+   | None -> ()
+   | Some spec ->
+     List.iter
+       (fun (source, profile) ->
+         match List.find_opt (fun w -> w.Wrapper.name = source) wrappers with
+         | Some w -> Wrapper.install_fault w profile
+         | None -> Fmt.failwith "fault profile names unknown source %S" source)
+       (Disco_fault.Fault.parse_spec spec));
   (med, wrappers)
 
 let handle f =
@@ -77,9 +95,11 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache objective sql =
+  let run small seed history no_rules no_cache fault objective sql =
     handle (fun () ->
-        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
+        let med, _ =
+          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+        in
         let a = Mediator.run_query ~objective:(objective_of objective) med sql in
         List.iter (fun row -> Fmt.pr "%a@." Tuple.pp_with_names row) a.Mediator.rows;
         Fmt.pr "-- %d rows, measured %a@."
@@ -87,6 +107,12 @@ let query_cmd =
           Run.pp_vector a.Mediator.measured;
         Fmt.pr "-- estimated TotalTime %.1f ms@."
           (Estimator.total_time a.Mediator.estimate);
+        if a.Mediator.replans > 0 then begin
+          Fmt.pr "-- recovered after %d replan(s):@." a.Mediator.replans;
+          List.iter
+            (fun f -> Fmt.pr "--   %a@." Run.pp_submit_failure f)
+            a.Mediator.recovered
+        end;
         if Mediator.cache_enabled med then
           Fmt.pr "-- plan cache: %a@." Plancache.pp_counters (Mediator.plancache med))
   in
@@ -94,7 +120,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ objective_arg $ sql)
+      $ fault_arg $ objective_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -102,9 +128,11 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache sql =
+  let run small seed history no_rules no_cache fault sql =
     handle (fun () ->
-        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
+        let med, _ =
+          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+        in
         print_string (Mediator.explain med sql))
   in
   Cmd.v
@@ -114,7 +142,7 @@ let explain_cmd =
           the rule that produced each one.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ sql)
+      $ fault_arg $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -122,9 +150,11 @@ let analyze_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache sql =
+  let run small seed history no_rules no_cache fault sql =
     handle (fun () ->
-        let med, _ = make_mediator ~no_cache ~small ~seed ~history ~no_rules () in
+        let med, _ =
+          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+        in
         print_string (Mediator.analyze med sql))
   in
   Cmd.v
@@ -132,7 +162,7 @@ let analyze_cmd =
        ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ sql)
+      $ fault_arg $ sql)
 
 (* --- registration ----------------------------------------------------------------- *)
 
@@ -212,6 +242,57 @@ let sources_cmd =
     (Cmd.info "sources" ~doc:"List registered sources, collections and rule counts.")
     Term.(const run $ small_arg $ seed_arg)
 
+(* --- health ---------------------------------------------------------------------- *)
+
+let health_cmd =
+  let probes_arg =
+    let doc = "Probe submits per source." in
+    Arg.(value & opt int 3 & info [ "probes" ] ~doc)
+  in
+  let run small seed fault probes =
+    handle (fun () ->
+        let med, wrappers =
+          make_mediator ?fault ~small ~seed ~history:"off" ~no_rules:false ()
+        in
+        (* probe each source with real submits (scan of its first collection)
+           so timeouts, retries and breaker transitions actually happen *)
+        List.iter
+          (fun w ->
+            match Wrapper.table_names w with
+            | [] -> ()
+            | collection :: _ ->
+              let probe =
+                Disco_algebra.Plan.Submit
+                  ( w.Wrapper.name,
+                    Disco_algebra.Plan.Scan
+                      { Disco_algebra.Plan.source = w.Wrapper.name;
+                        collection;
+                        binding = "p" } )
+              in
+              for _ = 1 to probes do
+                try ignore (Mediator.to_physical med probe)
+                with Run.Submit_error _ -> ()
+              done)
+          wrappers;
+        Fmt.pr "source     state                 ok  fail  retries  consec  probes  last error@.";
+        List.iter
+          (fun (r : Health.row) ->
+            Fmt.pr "%-10s %-20s %3d  %4d  %7d  %6d  %6d  %s@." r.Health.source
+              (Fmt.str "%a" Health.pp_state r.Health.row_state)
+              r.Health.ok r.Health.failed r.Health.retried r.Health.consecutive
+              r.Health.probed
+              (Option.value ~default:"-" r.Health.error))
+          (Health.report (Mediator.health med));
+        Fmt.pr "-- simulated clock: %.0f ms@." (Mediator.now med))
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe each source with real submits under the configured fault \
+          profiles and print the per-source health table (state, outcomes, \
+          retries, circuit breaker).")
+    Term.(const run $ small_arg $ seed_arg $ fault_arg $ probes_arg)
+
 (* --- fig12 ----------------------------------------------------------------------- *)
 
 let fig12_cmd =
@@ -267,4 +348,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ query_cmd; explain_cmd; analyze_cmd; registration_cmd; check_cmd; sources_cmd; fig12_cmd ]))
+          [ query_cmd; explain_cmd; analyze_cmd; registration_cmd; check_cmd;
+            sources_cmd; health_cmd; fig12_cmd ]))

@@ -8,6 +8,7 @@ exception Unknown_attribute of { collection : string; attribute : string }
 exception Unknown_source of string
 exception Eval_error of string
 exception Plan_error of string
+exception Source_unavailable of { source : string; retry_at_ms : float }
 
 let parse_error ~what ~line ~col msg = raise (Parse_error { what; line; col; msg })
 
@@ -20,6 +21,11 @@ let to_string = function
   | Unknown_source s -> Fmt.str "unknown source %S" s
   | Eval_error msg -> Fmt.str "cost evaluation error: %s" msg
   | Plan_error msg -> Fmt.str "plan error: %s" msg
+  | Source_unavailable { source; retry_at_ms } ->
+    Fmt.str
+      "source %S is unavailable (circuit open; retry at t≈%.0f ms simulated): \
+       no plan remains"
+      source retry_at_ms
   | exn -> Printexc.to_string exn
 
 let guard f = try Ok (f ()) with exn -> Error (to_string exn)

@@ -15,6 +15,11 @@ exception Eval_error of string
 exception Plan_error of string
 (** Raised for malformed or unresolvable query plans. *)
 
+exception Source_unavailable of { source : string; retry_at_ms : float }
+(** Raised when a query needs a source whose circuit breaker is open and no
+    alternative plan remains; [retry_at_ms] is the simulated time at which
+    the breaker will admit a half-open probe. *)
+
 val parse_error : what:string -> line:int -> col:int -> string -> 'a
 (** Raise {!Parse_error}. *)
 

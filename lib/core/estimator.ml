@@ -195,8 +195,16 @@ and compute ctx ann (v : Ast.cost_var) : float * provenance =
         (x, { rule_id = r.Rule.id; rule_scope = r.Rule.scope; rule_source = r.Rule.source }))
       candidates
   in
-  List.fold_left (fun acc c -> if fst c < fst acc then c else acc) (List.hd evaluated)
-    (List.tl evaluated)
+  (* min-combining must prefer finite values: NaN compares false under [<],
+     so a NaN produced by the first candidate (0/0, ln(0)*0 in a wrapper
+     rule) would otherwise never be displaced by a later finite one *)
+  List.fold_left
+    (fun acc c ->
+      let x = fst c and best = fst acc in
+      if Float.is_nan best then if Float.is_nan x then acc else c
+      else if x < best then c
+      else acc)
+    (List.hd evaluated) (List.tl evaluated)
 
 (* Evaluate a rule's body up to (and including) the assignment of [v]. *)
 and eval_rule_var ctx ann (rule : Rule.t) bindings (v : Ast.cost_var) : float =

@@ -20,7 +20,12 @@ let find_attr (inputs : Derive.t list) name =
 
 let of_cmp inputs a (op : Pred.cmp) v =
   match find_attr inputs a with
-  | None -> (match op with Pred.Eq -> default_eq | _ -> default_range)
+  | None ->
+    (* mirror the with-statistics estimates: Ne complements Eq *)
+    (match op with
+     | Pred.Eq -> default_eq
+     | Pred.Ne -> 1. -. default_eq
+     | Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge -> default_range)
   | Some s ->
     (match op with
      | Pred.Eq -> 1. /. Float.max s.Derive.distinct 1.

@@ -56,6 +56,42 @@ let pp_vector ppf v =
   Fmt.pf ppf "{count=%.0f size=%.0fB first=%.1fms next=%.2fms total=%.1fms}" v.count
     v.size v.time_first v.time_next v.total_time
 
+(* --- Typed submit failures -------------------------------------------------
+
+   A subplan submitted to a wrapper can fail to come back: the attempt can
+   exceed the mediator's per-source timeout, the source can return a
+   transient error, or the source can be hard-unavailable. The mediator's
+   submit policy retries within one attempt budget; when the budget is
+   exhausted the failure surfaces as this typed exception rather than a
+   swallowed generic one, so callers can replan or report precisely. *)
+
+type failure_reason = Timeout | Transient | Unavailable
+
+type submit_failure = {
+  source : string;
+  attempts : int;        (* submits tried, including the failing one *)
+  elapsed_ms : float;    (* simulated ms burnt across all attempts *)
+  reason : failure_reason;  (* of the final attempt *)
+}
+
+exception Submit_error of submit_failure
+
+let reason_to_string = function
+  | Timeout -> "timeout"
+  | Transient -> "transient error"
+  | Unavailable -> "unavailable"
+
+let pp_submit_failure ppf f =
+  Fmt.pf ppf "source %S failed (%s) after %d attempt%s, %.0f ms wasted" f.source
+    (reason_to_string f.reason) f.attempts
+    (if f.attempts = 1 then "" else "s")
+    f.elapsed_ms
+
+let () =
+  Printexc.register_printer (function
+    | Submit_error f -> Some (Fmt.str "Submit_error: %a" pp_submit_failure f)
+    | _ -> None)
+
 (* --- Helpers -------------------------------------------------------------- *)
 
 let qualified_attrs (table : Table.t) binding =

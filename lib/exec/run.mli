@@ -39,6 +39,24 @@ val to_cost_vars : vector -> (Disco_costlang.Ast.cost_var * float) list
 
 val pp_vector : Format.formatter -> vector -> unit
 
+type failure_reason = Timeout | Transient | Unavailable
+
+(** Why a subplan submitted to a wrapper did not come back. Produced by the
+    mediator's submit policy once its retry budget for the attempt is spent;
+    typed so callers can replan around the failed source or report precisely
+    instead of swallowing a generic exception. *)
+type submit_failure = {
+  source : string;
+  attempts : int;        (** submits tried, including the failing one *)
+  elapsed_ms : float;    (** simulated ms burnt across all attempts *)
+  reason : failure_reason;  (** of the final attempt *)
+}
+
+exception Submit_error of submit_failure
+
+val reason_to_string : failure_reason -> string
+val pp_submit_failure : Format.formatter -> submit_failure -> unit
+
 val run : env -> Physical.t -> result
 (** Execute a physical plan, producing rows and simulated times. *)
 

@@ -1,0 +1,132 @@
+(* Per-source health tracking for the mediator's submit policy.
+
+   Each source carries a consecutive-failure circuit breaker: after
+   [breaker_threshold] consecutive exhausted submit attempts the circuit
+   opens for [breaker_cooldown_ms] of simulated time, during which the
+   optimizer excludes the source from planning. Once the cooldown elapses
+   the next availability check admits a single half-open probe; a
+   successful submit closes the circuit, a failed one reopens it for
+   another cooldown. All times are simulated ms, supplied by the caller
+   (the mediator owns the clock). *)
+
+type policy = {
+  timeout_ms : float;         (* per-attempt bound on injected anomalies *)
+  max_attempts : int;         (* submits per subplan, including the first *)
+  backoff_base_ms : float;    (* wait before the first retry *)
+  backoff_factor : float;     (* multiplier per further retry *)
+  breaker_threshold : int;    (* consecutive failures that open the circuit *)
+  breaker_cooldown_ms : float;(* open duration before a half-open probe *)
+}
+
+let default_policy =
+  { timeout_ms = 10_000.;
+    max_attempts = 3;
+    backoff_base_ms = 250.;
+    backoff_factor = 2.;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 60_000. }
+
+type state = Closed | Open of { until : float } | Half_open
+
+type entry = {
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable successes : int;
+  mutable failures : int;   (* exhausted attempt budgets, not single attempts *)
+  mutable retries : int;
+  mutable probes : int;     (* half-open probes admitted *)
+  mutable last_error : string option;
+}
+
+type t = { policy : policy; entries : (string, entry) Hashtbl.t }
+
+let create ?(policy = default_policy) () = { policy; entries = Hashtbl.create 8 }
+
+let policy t = t.policy
+
+let entry t source =
+  match Hashtbl.find_opt t.entries source with
+  | Some e -> e
+  | None ->
+    let e =
+      { state = Closed;
+        consecutive_failures = 0;
+        successes = 0;
+        failures = 0;
+        retries = 0;
+        probes = 0;
+        last_error = None }
+    in
+    Hashtbl.add t.entries source e;
+    e
+
+let state t source = (entry t source).state
+
+let available t ~now source =
+  let e = entry t source in
+  match e.state with
+  | Closed | Half_open -> true
+  | Open { until } when now >= until ->
+    (* cooldown elapsed: admit one probe; its outcome settles the circuit *)
+    e.state <- Half_open;
+    e.probes <- e.probes + 1;
+    true
+  | Open _ -> false
+
+let retry_at t source =
+  match (entry t source).state with Open { until } -> until | Closed | Half_open -> 0.
+
+let on_success t source =
+  let e = entry t source in
+  e.successes <- e.successes + 1;
+  e.consecutive_failures <- 0;
+  e.state <- Closed
+
+let on_failure t ~now source ~reason =
+  let e = entry t source in
+  e.failures <- e.failures + 1;
+  e.consecutive_failures <- e.consecutive_failures + 1;
+  e.last_error <- Some reason;
+  let open_until = now +. t.policy.breaker_cooldown_ms in
+  (match e.state with
+   | Half_open ->
+     (* the probe failed: straight back to open *)
+     e.state <- Open { until = open_until }
+   | Closed when e.consecutive_failures >= t.policy.breaker_threshold ->
+     e.state <- Open { until = open_until }
+   | Closed | Open _ -> ())
+
+let note_retry t source =
+  let e = entry t source in
+  e.retries <- e.retries + 1
+
+type row = {
+  source : string;
+  row_state : state;
+  ok : int;
+  failed : int;
+  retried : int;
+  consecutive : int;
+  probed : int;
+  error : string option;
+}
+
+let report t =
+  Hashtbl.fold
+    (fun source e acc ->
+      { source;
+        row_state = e.state;
+        ok = e.successes;
+        failed = e.failures;
+        retried = e.retries;
+        consecutive = e.consecutive_failures;
+        probed = e.probes;
+        error = e.last_error }
+      :: acc)
+    t.entries []
+  |> List.sort (fun a b -> String.compare a.source b.source)
+
+let pp_state ppf = function
+  | Closed -> Fmt.string ppf "closed"
+  | Open { until } -> Fmt.pf ppf "open(until %.0fms)" until
+  | Half_open -> Fmt.string ppf "half-open"

@@ -1,0 +1,68 @@
+(** Per-source health tracking for the mediator's submit policy.
+
+    Tracks submit outcomes per source and drives a consecutive-failure
+    circuit breaker: after {!policy.breaker_threshold} consecutive exhausted
+    retry budgets the circuit opens for {!policy.breaker_cooldown_ms}
+    simulated ms, the optimizer excludes the source, and once the cooldown
+    elapses a single half-open probe decides whether it closes again. The
+    caller (the mediator) owns the simulated clock and passes [now]. *)
+
+type policy = {
+  timeout_ms : float;          (** per-attempt bound on injected anomalies *)
+  max_attempts : int;          (** submits per subplan, including the first *)
+  backoff_base_ms : float;     (** wait before the first retry *)
+  backoff_factor : float;      (** multiplier per further retry *)
+  breaker_threshold : int;     (** consecutive failures that open the circuit *)
+  breaker_cooldown_ms : float; (** open duration before a half-open probe *)
+}
+
+val default_policy : policy
+(** 10 s timeout, 3 attempts, 250 ms backoff doubling, breaker at 3
+    consecutive failures with a 60 s cooldown — all simulated ms. *)
+
+type state = Closed | Open of { until : float } | Half_open
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+val policy : t -> policy
+
+val available : t -> now:float -> string -> bool
+(** Whether the source may be planned against / submitted to at simulated
+    time [now]. An open circuit whose cooldown has elapsed transitions to
+    half-open and admits the caller as its probe. *)
+
+val retry_at : t -> string -> float
+(** For an open circuit, when a half-open probe will be admitted; [0.]
+    otherwise. *)
+
+val state : t -> string -> state
+
+val on_success : t -> string -> unit
+(** A submit completed: reset the consecutive-failure count and close the
+    circuit (a successful half-open probe recovers the source). *)
+
+val on_failure : t -> now:float -> string -> reason:string -> unit
+(** A submit exhausted its retry budget. Opens the circuit when the
+    consecutive-failure threshold is reached, or immediately when a
+    half-open probe fails. *)
+
+val note_retry : t -> string -> unit
+
+(** One source's line in the health report. *)
+type row = {
+  source : string;
+  row_state : state;
+  ok : int;          (** completed submits *)
+  failed : int;      (** exhausted retry budgets *)
+  retried : int;     (** individual retries across all submits *)
+  consecutive : int; (** current consecutive-failure count *)
+  probed : int;      (** half-open probes admitted *)
+  error : string option;  (** most recent failure reason *)
+}
+
+val report : t -> row list
+(** All tracked sources, sorted by name. *)
+
+val pp_state : Format.formatter -> state -> unit

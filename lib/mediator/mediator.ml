@@ -12,6 +12,7 @@ open Disco_core
 open Disco_storage
 open Disco_exec
 open Disco_wrapper
+open Disco_fault
 open Disco_sql
 
 type t = {
@@ -19,6 +20,11 @@ type t = {
   registry : Registry.t;
   history : History.t;
   plancache : Plancache.t;
+  health : Health.t;
+  (* simulated wall clock, in ms; advances only when submit traffic runs
+     (wrapper work, communication, injected anomalies, retry backoff). The
+     fault injectors' windows and the circuit-breaker cooldowns live on it. *)
+  mutable now : float;
   (* escape hatch (the CLI's --no-cache): when off, every optimization
      re-estimates from scratch — the reference behavior the differential
      tests compare against *)
@@ -26,7 +32,8 @@ type t = {
   mutable wrappers : (string * Wrapper.t) list;
 }
 
-let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true) () =
+let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
+    ?policy () =
   let catalog = Catalog.create () in
   let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
@@ -34,6 +41,8 @@ let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true) (
     registry;
     history = History.create ~mode:history_mode registry;
     plancache = Plancache.create ();
+    health = Health.create ?policy ();
+    now = 0.;
     cache_enabled = cache;
     wrappers = [] }
 
@@ -41,6 +50,9 @@ let registry t = t.registry
 let catalog t = t.catalog
 let history t = t.history
 let plancache t = t.plancache
+let health t = t.health
+let now t = t.now
+let set_now t v = t.now <- v
 let cache_enabled t = t.cache_enabled
 let set_cache_enabled t on = t.cache_enabled <- on
 
@@ -311,7 +323,8 @@ let decorate (r : resolved) (joined : Plan.t) : Plan.t =
 
 (* --- Plan selection ----------------------------------------------------------- *)
 
-(* Optimize one resolved variant into a complete decorated plan. *)
+(* Optimize one resolved variant into a complete decorated plan. Sources
+   with an open circuit breaker are excluded from plan seeding. *)
 let plan_of_variant ?objective t (r : resolved) : Plan.t =
   let joined =
     match r.spec.Optimizer.bases with
@@ -319,9 +332,24 @@ let plan_of_variant ?objective t (r : resolved) : Plan.t =
     | _ ->
       fst
         (Optimizer.optimize ?objective ~memo:t.cache_enabled
-           ?cache:(active_cache t) t.registry r.spec)
+           ?cache:(active_cache t)
+           ~available:(fun s -> Health.available t.health ~now:t.now s)
+           t.registry r.spec)
   in
   decorate r joined
+
+(* Graceful degradation starts at optimization time: when a query needs a
+   source whose circuit is open and no alternative source serves the
+   collection, fail before planning with an error that says when to retry. *)
+let check_sources_available t (r : resolved) =
+  List.iter
+    (fun (b : Optimizer.base) ->
+      let s = b.Optimizer.ref_.Plan.source in
+      if not (Health.available t.health ~now:t.now s) then
+        raise
+          (Err.Source_unavailable
+             { source = s; retry_at_ms = Health.retry_at t.health s }))
+    r.spec.Optimizer.bases
 
 (* Estimate one variable of a complete plan through the cross-query cache
    (when enabled). Cached and fresh paths return bit-identical values: the
@@ -348,6 +376,7 @@ let cached_estimate t ~var (plan : Plan.t) : float =
 let best_plan ?(objective = Optimizer.Total_time) t (text : string) : Plan.t * float =
   let q = Sql.parse text in
   let r = resolve t q in
+  check_sources_available t r;
   let var =
     match objective with
     | Optimizer.Total_time -> Disco_costlang.Ast.Total_time
@@ -378,30 +407,102 @@ let mediator_run_env t =
     hash_join = true;
     adts = List.concat_map (fun (_, w) -> w.Wrapper.adts) t.wrappers }
 
-(* Execute the mediator-side plan: submits run in their wrappers (with
-   communication charged per the wrapper's network and history fed back);
-   composition operators run in the mediator engine. *)
-let rec to_physical t (plan : Plan.t) : Physical.t =
-  match plan with
-  | Plan.Submit (src, sub) ->
-    let w = find_wrapper t src in
+(* Estimate a submitted subplan for the history feedback; the estimate
+   carries the current per-source adjustment factor, so the smoothing in
+   History.observe converges instead of compounding. Model errors degrade to
+   0 (no feedback); anything else — in particular typed submit failures —
+   propagates. *)
+let history_estimate t ~source sub =
+  try
+    let ann = Estimator.estimate ~source t.registry sub in
+    Estimator.total_time ann *. Registry.adjust t.registry ~source
+  with
+  | Err.Eval_error _ | Err.Plan_error _ | Err.Unknown_collection _
+  | Err.Unknown_attribute _ | Err.Unknown_source _ ->
+    0.
+
+(* Submit one subplan to its wrapper under the submit policy.
+
+   Without an injector this is the plain query-phase exchange: execute,
+   charge communication per the wrapper's network, feed history. With one,
+   each attempt is first decided by the injector at the current simulated
+   time: a healthy (or merely spiky, below-timeout) response completes the
+   submit with the anomaly added on top of the real measured times, while a
+   stall/timeout, a transient error or a hard refusal burns simulated time
+   and is retried — with exponential backoff — until the policy's attempt
+   budget is spent and the failure surfaces as [Run.Submit_error].
+
+   Time wasted on faulty attempts ([inflate]) is charged to the result and
+   to the measured TotalTime fed into history: under [History.Adjust] a
+   flaky source's estimates inflate, steering the optimizer away from it. *)
+let submit_subplan t src sub : Physical.t =
+  let w = find_wrapper t src in
+  let net = w.Wrapper.network in
+  let complete ~inflate =
     let rows, vec = Wrapper.execute w sub in
-    (* the estimate carries the current per-source adjustment factor, so the
-       smoothing in History.observe converges instead of compounding *)
-    let estimated_total =
-      try
-        let ann = Estimator.estimate ~source:src t.registry sub in
-        Estimator.total_time ann *. Registry.adjust t.registry ~source:src
-      with _ -> 0.
+    let estimated_total = history_estimate t ~source:src sub in
+    let measured =
+      if inflate = 0. then Run.to_cost_vars vec
+      else
+        List.map
+          (fun (v, x) ->
+            if v = Disco_costlang.Ast.Total_time then (v, x +. inflate) else (v, x))
+          (Run.to_cost_vars vec)
     in
-    History.observe t.history ~source:src ~plan:sub ~measured:(Run.to_cost_vars vec)
-      ~estimated_total;
-    let net = w.Wrapper.network in
+    History.observe t.history ~source:src ~plan:sub ~measured ~estimated_total;
     let comm = net.Costs.msg_ms +. (net.Costs.byte_ms *. vec.Run.size) in
+    t.now <- t.now +. vec.Run.total_time +. comm +. inflate;
+    Health.on_success t.health src;
     Physical.Pmaterialized
       { rows;
-        first = vec.Run.time_first +. net.Costs.msg_ms;
-        total = vec.Run.total_time +. comm }
+        first = vec.Run.time_first +. net.Costs.msg_ms +. inflate;
+        total = vec.Run.total_time +. comm +. inflate }
+  in
+  match w.Wrapper.fault with
+  | None -> complete ~inflate:0.
+  | Some inj ->
+    let policy = Health.policy t.health in
+    let rec attempt k wasted =
+      match Fault.decide inj ~now:t.now with
+      | Fault.Respond extra when extra < policy.Health.timeout_ms ->
+        complete ~inflate:(wasted +. extra)
+      | outcome ->
+        let burn, reason =
+          match outcome with
+          (* a spike at or past the timeout is indistinguishable from a
+             stall: the mediator gives up at the timeout either way *)
+          | Fault.Respond _ | Fault.Stall -> (policy.Health.timeout_ms, Run.Timeout)
+          | Fault.Fail_after ms ->
+            (Float.min ms policy.Health.timeout_ms, Run.Transient)
+          | Fault.Refuse -> (net.Costs.msg_ms, Run.Unavailable)
+        in
+        t.now <- t.now +. burn;
+        if k >= policy.Health.max_attempts then begin
+          Health.on_failure t.health ~now:t.now src
+            ~reason:(Run.reason_to_string reason);
+          raise
+            (Run.Submit_error
+               { source = src; attempts = k; elapsed_ms = wasted +. burn; reason })
+        end
+        else begin
+          let backoff =
+            policy.Health.backoff_base_ms
+            *. (policy.Health.backoff_factor ** float_of_int (k - 1))
+          in
+          t.now <- t.now +. backoff;
+          Health.note_retry t.health src;
+          attempt (k + 1) (wasted +. burn +. backoff)
+        end
+    in
+    attempt 1 0.
+
+(* Execute the mediator-side plan: submits run in their wrappers under the
+   submit policy (communication charged per the wrapper's network, history
+   fed back, faults retried); composition operators run in the mediator
+   engine. *)
+let rec to_physical t (plan : Plan.t) : Physical.t =
+  match plan with
+  | Plan.Submit (src, sub) -> submit_subplan t src sub
   | Plan.Scan _ ->
     raise (Err.Plan_error "bare scan at the mediator (missing submit)")
   | Plan.Select (c, p) -> Physical.Pfilter (to_physical t c, p)
@@ -417,22 +518,83 @@ type answer = {
   plan : Plan.t;
   estimate : Estimator.ann;
   measured : Run.vector;
+  replans : int;
+  recovered : Run.submit_failure list;
 }
 
-(* The full query-processing phase of Fig 2. *)
-let run_query ?objective t (text : string) : answer =
+type report = {
+  failures : Run.submit_failure list;
+  replans : int;
+  unavailable : (string * float) list;
+}
+
+exception Degraded of report
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "query degraded after %d replan%s:@," r.replans
+    (if r.replans = 1 then "" else "s");
+  List.iter (fun f -> Fmt.pf ppf "  %a@," Run.pp_submit_failure f) r.failures;
+  List.iter
+    (fun (s, at) -> Fmt.pf ppf "  source %S circuit open until t≈%.0f ms@," s at)
+    r.unavailable
+
+let () =
+  Printexc.register_printer (function
+    | Degraded r -> Some (Fmt.str "@[<v>Degraded: %a@]" pp_report r)
+    | _ -> None)
+
+let unavailable_sources t =
+  List.filter_map
+    (fun (name, _) ->
+      match Health.state t.health name with
+      | Health.Open { until } -> Some (name, until)
+      | Health.Closed | Health.Half_open -> None)
+    t.wrappers
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* The full query-processing phase of Fig 2, wrapped in the degradation
+   contract: a submit that exhausts its retry budget mid-execution triggers a
+   replan — the failed source's circuit state and inflated history steer the
+   optimizer, and with the circuit open the source is excluded outright — up
+   to [max_replans] times; when no plan remains (or the budget is spent) the
+   accumulated failures surface as a structured [Degraded] report. A query
+   that needs an already-open source fails fast with
+   [Err.Source_unavailable]. *)
+let run_query ?objective ?(max_replans = 2) t (text : string) : answer =
   let q = Sql.parse text in
   let r = resolve t q in
-  let plan, _ = best_plan ?objective t text in
-  let estimate = Estimator.estimate t.registry plan in
-  let physical = to_physical t plan in
-  let rows, measured = Run.measure (mediator_run_env t) physical in
-  let rows =
-    match r.limit with
-    | Some n -> List.filteri (fun i _ -> i < n) rows
-    | None -> rows
+  let rec go replans failures =
+    match
+      let plan, _ = best_plan ?objective t text in
+      let estimate = Estimator.estimate t.registry plan in
+      let physical = to_physical t plan in
+      let rows, measured = Run.measure (mediator_run_env t) physical in
+      (plan, estimate, rows, measured)
+    with
+    | plan, estimate, rows, measured ->
+      let rows =
+        match r.limit with
+        | Some n -> List.filteri (fun i _ -> i < n) rows
+        | None -> rows
+      in
+      { rows; plan; estimate; measured; replans; recovered = List.rev failures }
+    | exception Run.Submit_error f ->
+      if replans >= max_replans then
+        raise
+          (Degraded
+             { failures = List.rev (f :: failures);
+               replans;
+               unavailable = unavailable_sources t })
+      else go (replans + 1) (f :: failures)
+    | exception Err.Source_unavailable _ when failures <> [] ->
+      (* replanning found no remaining plan: report instead of erroring *)
+      raise
+        (Degraded
+           { failures = List.rev failures;
+             replans;
+             unavailable = unavailable_sources t })
   in
-  { rows; plan; estimate; measured }
+  go 0 []
 
 (* EXPLAIN output: the chosen plan with per-node cost estimates. *)
 let explain t (text : string) : string =

@@ -18,12 +18,15 @@ type t
 
 val create :
   ?backend:Registry.backend -> ?calibration:Generic.calibration ->
-  ?history_mode:History.mode -> ?cache:bool -> unit -> t
+  ?history_mode:History.mode -> ?cache:bool -> ?policy:Health.policy ->
+  unit -> t
 (** A fresh mediator with its generic cost model installed. [backend]
     selects the formula backend (bytecode by default; [Registry.Closure] is
     the differential reference). [cache] (default on) enables the
     cross-query plan/cost cache; disabling it is the reference behavior the
-    differential tests compare against. *)
+    differential tests compare against. [policy] sets the submit policy —
+    per-source timeout, retry budget, backoff, circuit breaker
+    ({!Health.default_policy} when omitted). *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t
@@ -36,6 +39,18 @@ val plancache : t -> Plancache.t
 
 val cache_enabled : t -> bool
 val set_cache_enabled : t -> bool -> unit
+
+val health : t -> Health.t
+(** Per-source submit outcomes and circuit-breaker state. *)
+
+val now : t -> float
+(** The mediator's simulated clock (ms). It advances only when submit
+    traffic runs: wrapper work, communication, injected anomalies, retry
+    backoff. Fault windows and breaker cooldowns live on this clock. *)
+
+val set_now : t -> float -> unit
+(** Move the clock, e.g. to let a circuit-breaker cooldown elapse in tests
+    or demos. *)
 
 val register : t -> Wrapper.t -> unit
 (** The registration phase: the wrapper returns schemas, statistics and cost
@@ -80,7 +95,13 @@ val decorate : resolved -> Plan.t -> Plan.t
     predicate, aggregation or projection, dedup, sort. *)
 
 val plan_of_variant : ?objective:Optimizer.objective -> t -> resolved -> Plan.t
-(** Optimize one resolved variant into a complete decorated plan. *)
+(** Optimize one resolved variant into a complete decorated plan. Sources
+    with an open circuit breaker are excluded from plan seeding. *)
+
+val check_sources_available : t -> resolved -> unit
+(** @raise Disco_common.Err.Source_unavailable when a relation's source has
+    an open circuit breaker (graceful degradation's fail-fast edge: no plan
+    remains for a single-sourced collection). *)
 
 val plan_query : ?objective:Optimizer.objective -> t -> string -> Plan.t * float
 (** Parse, resolve and optimize; returns the full plan and its estimated cost
@@ -104,10 +125,32 @@ type answer = {
   plan : Plan.t;
   estimate : Estimator.ann;
   measured : Run.vector;
+  replans : int;  (** mid-execution replans this query needed *)
+  recovered : Run.submit_failure list;
+      (** submit failures the replans recovered from *)
 }
 
-val run_query : ?objective:Optimizer.objective -> t -> string -> answer
-(** The full query-processing phase of Fig 2. *)
+(** Structured partial-failure report: what failed, how often the query was
+    replanned, and which sources are out with their retry times. *)
+type report = {
+  failures : Run.submit_failure list;
+  replans : int;
+  unavailable : (string * float) list;
+}
+
+exception Degraded of report
+(** Raised by {!run_query} when replanning cannot recover the query. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val run_query :
+  ?objective:Optimizer.objective -> ?max_replans:int -> t -> string -> answer
+(** The full query-processing phase of Fig 2, under the degradation
+    contract: a submit that exhausts its retry budget triggers a replan (up
+    to [max_replans], default 2) against the sources still healthy; when
+    recovery is impossible the accumulated failures surface as {!Degraded}.
+    A query needing an already-open source raises
+    [Disco_common.Err.Source_unavailable] directly. *)
 
 val explain : t -> string -> string
 (** The chosen plan plus per-node cost estimates annotated with the scope of

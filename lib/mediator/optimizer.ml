@@ -295,8 +295,8 @@ end
    thousands of times. [cache] is the cross-query cache; both only change
    what is recomputed, never the costs, so the chosen plan is identical with
    and without them (see test/test_plancache.ml). *)
-let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
-    (spec : spec) : Plan.t * float =
+let optimize ?(objective = Total_time) ?(memo = true) ?cache
+    ?(available = fun _ -> true) registry (spec : spec) : Plan.t * float =
   if spec.bases = [] then raise (Err.Plan_error "query has no relations");
   let stats = new_stats () in
   let memo = if memo then Some (Estimator.new_memo ()) else None in
@@ -326,17 +326,22 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
           ((c, c_cost) :: List.filter (fun e -> e != entry) existing)
     | None -> Hashtbl.replace table key ((c, cost c.plan) :: existing)
   in
-  (* singletons *)
+  (* singletons; a base whose source is unavailable (open circuit) is not
+     seeded, so no plan ever touches it — with replicated collections the DP
+     would route around it, with single-sourced ones the full-subset lookup
+     below fails and the caller reports the unavailability *)
   List.iter
     (fun b ->
-      let c =
-        { plan = base_plan b;
-          site = At_source b.ref_.Plan.source;
-          aliases = Aliases.singleton b.ref_.Plan.binding;
-          residual = base_residual b }
-      in
-      put c;
-      put (wrap c))
+      if available b.ref_.Plan.source then begin
+        let c =
+          { plan = base_plan b;
+            site = At_source b.ref_.Plan.source;
+            aliases = Aliases.singleton b.ref_.Plan.binding;
+            residual = base_residual b }
+        in
+        put c;
+        put (wrap c)
+      end)
     spec.bases;
   (* grow subsets by size *)
   let aliases = List.map (fun b -> b.ref_.Plan.binding) spec.bases in
@@ -381,7 +386,8 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache registry
   | None | Some [] ->
     raise
       (Err.Plan_error
-         "no complete plan found (disconnected join graph without cross joins)")
+         "no complete plan found (disconnected join graph without cross \
+          joins, or every source of a relation unavailable)")
   | Some cands ->
     (match
        List.fold_left

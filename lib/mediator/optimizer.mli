@@ -80,12 +80,15 @@ val choose :
     the best cost so far (default on). *)
 
 val optimize :
-  ?objective:objective -> ?memo:bool -> ?cache:Plancache.t -> Registry.t ->
-  spec -> Plan.t * float
+  ?objective:objective -> ?memo:bool -> ?cache:Plancache.t ->
+  ?available:(string -> bool) -> Registry.t -> spec -> Plan.t * float
 (** Dynamic programming over alias subsets, keeping the best candidate per
     site (one per source for unwrapped subplans, one mediator-side). [memo]
     (default on) shares subtree annotations across the run, so the DP never
     re-runs the estimator on an already-costed subtree; [cache] carries
     complete-plan costs across queries. Both are value-preserving: the chosen
-    plan and cost are identical with and without them.
-    @raise Disco_common.Err.Plan_error on an empty or disconnected query. *)
+    plan and cost are identical with and without them. [available] (default:
+    everything) excludes sources — e.g. those with an open circuit breaker —
+    from plan seeding, so no generated plan touches them.
+    @raise Disco_common.Err.Plan_error on an empty or disconnected query, or
+    when exclusions leave some relation without a source. *)

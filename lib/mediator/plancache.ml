@@ -24,7 +24,12 @@ module Tbl = Hashtbl.Make (struct
   let hash (v, p) = (Hashtbl.hash v * 31) + Plan.hash p
 end)
 
-type entry = { cost : float; generation : int }
+(* [stamp] identifies the entry's occurrence in the FIFO [order] queue. A key
+   dropped as stale in [find] leaves a dead occurrence behind; when the key
+   is later re-added it gets a fresh occurrence and a fresh stamp, so the
+   eviction loop can tell the dead (older) occurrence from the live one and
+   never evicts a re-added entry out of insertion order. *)
+type entry = { cost : float; generation : int; stamp : int }
 
 type counters = {
   mutable hits : int;
@@ -36,15 +41,18 @@ type counters = {
 type t = {
   capacity : int;
   table : entry Tbl.t;
-  order : (Disco_costlang.Ast.cost_var * Plan.t) Queue.t;  (* insertion order *)
+  (* insertion order; each element is one stamped occurrence of a key *)
+  order : ((Disco_costlang.Ast.cost_var * Plan.t) * int) Queue.t;
   counters : counters;
+  mutable tick : int;  (* stamp generator *)
 }
 
 let create ?(capacity = 4096) () =
   { capacity = max capacity 1;
     table = Tbl.create 256;
     order = Queue.create ();
-    counters = { hits = 0; misses = 0; stale = 0; evictions = 0 } }
+    counters = { hits = 0; misses = 0; stale = 0; evictions = 0 };
+    tick = 0 }
 
 let counters t = t.counters
 
@@ -52,7 +60,11 @@ let size t = Tbl.length t.table
 
 let clear t =
   Tbl.reset t.table;
-  Queue.clear t.order
+  Queue.clear t.order;
+  t.counters.hits <- 0;
+  t.counters.misses <- 0;
+  t.counters.stale <- 0;
+  t.counters.evictions <- 0
 
 let find t registry ~objective plan =
   let key = (objective, plan) in
@@ -71,19 +83,26 @@ let find t registry ~objective plan =
 
 let add t registry ~objective plan cost =
   let key = (objective, plan) in
-  if not (Tbl.mem t.table key) then begin
-    (* the order queue may hold keys whose entry was already dropped as
-       stale; pop until a live one is evicted *)
+  match Tbl.find_opt t.table key with
+  | Some e ->
+    (* refresh in place, keeping the entry's queue slot (no duplicate push) *)
+    Tbl.replace t.table key { e with cost; generation = Registry.generation registry }
+  | None ->
+    (* the order queue may hold dead occurrences — keys dropped as stale in
+       [find], or superseded by a re-add under a newer stamp; pop until a
+       live occurrence is evicted *)
     while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
-      let victim = Queue.pop t.order in
-      if Tbl.mem t.table victim then begin
+      let victim, stamp = Queue.pop t.order in
+      match Tbl.find_opt t.table victim with
+      | Some e when e.stamp = stamp ->
         Tbl.remove t.table victim;
         t.counters.evictions <- t.counters.evictions + 1
-      end
+      | _ -> ()
     done;
-    Queue.push key t.order
-  end;
-  Tbl.replace t.table key { cost; generation = Registry.generation registry }
+    t.tick <- t.tick + 1;
+    Queue.push (key, t.tick) t.order;
+    Tbl.replace t.table key
+      { cost; generation = Registry.generation registry; stamp = t.tick }
 
 let pp_counters ppf t =
   Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d"

@@ -39,6 +39,6 @@ val counters : t -> counters
 val size : t -> int
 
 val clear : t -> unit
-(** Drop all entries (counters are kept). *)
+(** Drop all entries and reset the counters. *)
 
 val pp_counters : Format.formatter -> t -> unit

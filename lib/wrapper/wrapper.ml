@@ -23,6 +23,9 @@ type t = {
   rules_text : string;  (* cost-language items exported at registration *)
   adts : Adt.t list;    (* ADT operation implementations (paper §7) *)
   export_adt_costs : bool;  (* export AdtCost_/AdtSel_ parameters *)
+  (* communication-fault injector, consulted by the mediator's submit policy;
+     orthogonal to the wrapper's tables and cost rules *)
+  mutable fault : Disco_fault.Fault.t option;
 }
 
 let create ~name ~engine ~network ?(buffer_pages = 2048) ?(rules_text = "")
@@ -34,7 +37,13 @@ let create ~name ~engine ~network ?(buffer_pages = 2048) ?(rules_text = "")
     tables = List.map (fun (tbl : Table.t) -> (tbl.Table.name, tbl)) tables;
     rules_text;
     adts;
-    export_adt_costs = true }
+    export_adt_costs = true;
+    fault = None }
+
+let install_fault t profile =
+  t.fault <- Some (Disco_fault.Fault.install profile ~source:t.name)
+
+let clear_fault t = t.fault <- None
 
 (* The same wrapper, exporting statistics but no cost rules or ADT costs: the
    baseline calibrating behaviour, used by the validation benches. *)

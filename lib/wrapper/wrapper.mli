@@ -21,6 +21,9 @@ type t = {
   adts : Adt.t list;    (** ADT operation implementations (paper §7) *)
   export_adt_costs : bool;
       (** export [AdtCost_]/[AdtSel_] parameters at registration *)
+  mutable fault : Disco_fault.Fault.t option;
+      (** communication-fault injector, consulted by the mediator's submit
+          policy; orthogonal to the wrapper's tables and cost rules *)
 }
 
 val create :
@@ -36,6 +39,13 @@ val create :
 val without_rules : t -> t
 (** The same wrapper, exporting statistics but no cost rules or ADT costs:
     the baseline calibrating behaviour, used by the validation benches. *)
+
+val install_fault : t -> Disco_fault.Fault.profile -> unit
+(** Attach a fault injector for this source, replacing any previous one.
+    The wrapper's tables, rules and statistics are untouched; the mediator's
+    submit policy consults the injector on every submit attempt. *)
+
+val clear_fault : t -> unit
 
 val find_table : t -> string -> Table.t
 (** @raise Disco_common.Err.Unknown_collection when absent. *)

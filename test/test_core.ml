@@ -12,9 +12,9 @@ open Disco_core
 let emp = { Plan.source = "src"; collection = "Employee"; binding = "e" }
 let mgr = { Plan.source = "src"; collection = "Manager"; binding = "m" }
 
-let base_registry ?(extra = "") () =
+let base_registry ?backend ?(extra = "") () =
   let catalog = Disco_catalog.Catalog.create () in
-  let registry = Registry.create catalog in
+  let registry = Registry.create ?backend catalog in
   Generic.register registry;
   let text =
     Fmt.str
@@ -309,6 +309,25 @@ let test_min_combining_same_level () =
       ()
   in
   Alcotest.(check (float 0.)) "min" 300. (total ~source:"src" registry scan_emp)
+
+let test_min_combining_prefers_finite_over_nan () =
+  (* regression: the fold compared with [<], under which NaN is never less
+     and never greater — a NaN first candidate (here ln(0) * 0) used to
+     survive over a later finite same-level rule. Checked on both formula
+     backends. *)
+  List.iter
+    (fun backend ->
+      let registry =
+        base_registry ~backend
+          ~extra:
+            {| rule scan(C) { TotalTime = ln(0) * 0; }
+               rule scan(C) { TotalTime = 300; } |}
+          ()
+      in
+      let t = total ~source:"src" registry scan_emp in
+      Alcotest.(check bool) "not NaN" false (Float.is_nan t);
+      Alcotest.(check (float 0.)) "finite candidate wins" 300. t)
+    [ Registry.Closure; Registry.Bytecode ]
 
 let test_first_rule_wins_tie_via_order () =
   (* min-combining makes value ties harmless; check both are evaluated by
@@ -742,6 +761,20 @@ let test_selest () =
   Alcotest.(check (float 1e-9)) "unknown attr default" 0.1
     (sel (Pred.Cmp ("e.unknown_attr", Pred.Eq, Constant.Int 1)))
 
+let test_selest_no_stats_fallbacks () =
+  (* all six comparison operators against an attribute with no statistics.
+     Regression: Ne fell back to the range default (1/3) instead of the
+     complement of the equality default. *)
+  let registry = base_registry () in
+  let ann = est ~source:"src" registry scan_emp in
+  let stats = [ Lazy.force ann.Estimator.stats ] in
+  let sel op = Selest.of_pred stats (Pred.Cmp ("e.unknown_attr", op, Constant.Int 1)) in
+  Alcotest.(check (float 1e-9)) "eq" 0.1 (sel Pred.Eq);
+  Alcotest.(check (float 1e-9)) "ne complements eq" 0.9 (sel Pred.Ne);
+  List.iter
+    (fun op -> Alcotest.(check (float 1e-9)) "range third" (1. /. 3.) (sel op))
+    [ Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ]
+
 let prop_selest_bounds =
   QCheck2.Test.make ~name:"sel always in [0,1]" ~count:300
     QCheck2.Gen.(
@@ -803,6 +836,8 @@ let () =
           Alcotest.test_case "collection beats wrapper" `Quick test_collection_beats_wrapper;
           Alcotest.test_case "predicate beats collection" `Quick test_predicate_beats_collection;
           Alcotest.test_case "min-combining" `Quick test_min_combining_same_level;
+          Alcotest.test_case "min-combining vs NaN" `Quick
+            test_min_combining_prefers_finite_over_nan;
           Alcotest.test_case "same-level both evaluated" `Quick test_first_rule_wins_tie_via_order;
           Alcotest.test_case "per-variable fallback" `Quick test_per_variable_fallback;
           Alcotest.test_case "lets and defs" `Quick test_wrapper_lets_and_defs;
@@ -840,4 +875,5 @@ let () =
           Alcotest.test_case "loose lookup" `Quick test_find_loose ] );
       ( "selectivity",
         [ Alcotest.test_case "estimates" `Quick test_selest;
+          Alcotest.test_case "no-stats fallbacks" `Quick test_selest_no_stats_fallbacks;
           QCheck_alcotest.to_alcotest prop_selest_bounds ] ) ]

@@ -1,0 +1,279 @@
+(* Fault injection and the mediator's submit policy: injector determinism,
+   spec parsing, the zero-profile differential guarantee, retry/backoff with
+   replan recovery, the circuit breaker (open, fail-fast, half-open probe)
+   and the Adjust-mode feedback of retry latency. *)
+
+open Disco_common
+open Disco_algebra
+open Disco_core
+open Disco_exec
+open Disco_wrapper
+open Disco_fault
+open Disco_mediator
+
+let bits = Int64.bits_of_float
+
+(* Mediator over the small demo federation, with fault profiles installed
+   per source name. *)
+let make ?policy ?history_mode ?(faults = fun _ -> None) () =
+  let wrappers = Demo.make ~sizes:Demo.small_sizes () in
+  let med = Mediator.create ?policy ?history_mode () in
+  List.iter (Mediator.register med) wrappers;
+  List.iter
+    (fun w ->
+      match faults w.Wrapper.name with
+      | Some p -> Wrapper.install_fault w p
+      | None -> ())
+    wrappers;
+  med
+
+let queries =
+  [ "select e.id from Employee e where e.salary > 10000";
+    "select e.id from Employee e, Department d where e.dept_id = d.id and \
+     d.budget > 100000";
+    "select l.id from Listing l where l.rating >= 2" ]
+
+(* --- Injector ---------------------------------------------------------------- *)
+
+let test_decide_deterministic () =
+  let profile =
+    { Fault.none with
+      Fault.seed = 42;
+      transient_prob = 0.3;
+      spike_prob = 0.4;
+      spike_ms = 200.;
+      stall_prob = 0.1 }
+  in
+  let run source =
+    let inj = Fault.install profile ~source in
+    List.init 200 (fun i -> Fault.decide inj ~now:(float_of_int (i * 50)))
+  in
+  Alcotest.(check bool) "same source, same stream" true (run "web" = run "web");
+  Alcotest.(check bool) "different sources, different streams" true
+    (run "web" <> run "files")
+
+let test_decide_windows () =
+  let profile =
+    { Fault.none with Fault.outages = [ (100., 200.) ]; stalls = [ (300., 400.) ] }
+  in
+  let inj = Fault.install profile ~source:"s" in
+  Alcotest.(check bool) "outage refuses" true (Fault.decide inj ~now:150. = Fault.Refuse);
+  Alcotest.(check bool) "outage end exclusive" true
+    (Fault.decide inj ~now:200. <> Fault.Refuse);
+  Alcotest.(check bool) "stall window stalls" true
+    (Fault.decide inj ~now:350. = Fault.Stall);
+  Alcotest.(check bool) "healthy outside windows" true
+    (Fault.decide inj ~now:500. = Fault.Respond 0.)
+
+let test_parse_spec () =
+  let specs =
+    Fault.parse_spec
+      "web:err=0.3@40,spike=0.2@500,seed=7;files:outage=0-5000,stallwin=10-20,stall=0.5"
+  in
+  (match List.assoc_opt "web" specs with
+   | Some p ->
+     Alcotest.(check int) "seed" 7 p.Fault.seed;
+     Alcotest.(check (float 1e-9)) "err prob" 0.3 p.Fault.transient_prob;
+     Alcotest.(check (float 1e-9)) "err ms" 40. p.Fault.transient_ms;
+     Alcotest.(check (float 1e-9)) "spike prob" 0.2 p.Fault.spike_prob;
+     Alcotest.(check (float 1e-9)) "spike ms" 500. p.Fault.spike_ms
+   | None -> Alcotest.fail "web profile missing");
+  (match List.assoc_opt "files" specs with
+   | Some p ->
+     Alcotest.(check bool) "outage" true (p.Fault.outages = [ (0., 5000.) ]);
+     Alcotest.(check bool) "stall window" true (p.Fault.stalls = [ (10., 20.) ]);
+     Alcotest.(check (float 1e-9)) "stall prob" 0.5 p.Fault.stall_prob
+   | None -> Alcotest.fail "files profile missing");
+  let rejects s =
+    match Fault.parse_spec s with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown field rejected" true (rejects "web:bogus=1");
+  Alcotest.(check bool) "missing source rejected" true (rejects "err=0.5");
+  Alcotest.(check bool) "bad number rejected" true (rejects "web:err=lots")
+
+(* --- Zero-profile differential ------------------------------------------------ *)
+
+let test_zero_profile_differential () =
+  let plain = make () in
+  let inert = make ~faults:(fun _ -> Some Fault.none) () in
+  List.iter
+    (fun sql ->
+      let a = Mediator.run_query plain sql in
+      let b = Mediator.run_query inert sql in
+      Alcotest.(check bool) ("plan: " ^ sql) true
+        (Plan.equal a.Mediator.plan b.Mediator.plan);
+      Alcotest.(check bool) ("estimate bits: " ^ sql) true
+        (bits (Estimator.total_time a.Mediator.estimate)
+         = bits (Estimator.total_time b.Mediator.estimate));
+      Alcotest.(check bool) ("measured bits: " ^ sql) true
+        (bits a.Mediator.measured.Run.total_time
+         = bits b.Mediator.measured.Run.total_time
+         && bits a.Mediator.measured.Run.time_first
+            = bits b.Mediator.measured.Run.time_first);
+      Alcotest.(check int) ("no replans: " ^ sql) 0 (a.Mediator.replans + b.Mediator.replans))
+    queries
+
+let test_runs_deterministic () =
+  let profile =
+    { Fault.none with
+      Fault.seed = 9;
+      transient_prob = 0.4;
+      spike_prob = 0.3;
+      spike_ms = 500. }
+  in
+  let run () =
+    let med = make ~faults:(fun _ -> Some profile) () in
+    let out =
+      List.map
+        (fun sql ->
+          match Mediator.run_query med sql with
+          | a ->
+            Fmt.str "%s %Lx %d" (Plan.to_string a.Mediator.plan)
+              (bits a.Mediator.measured.Run.total_time)
+              a.Mediator.replans
+          | exception Mediator.Degraded r ->
+            Fmt.str "degraded %d %d" (List.length r.Mediator.failures) r.Mediator.replans)
+        queries
+    in
+    (out, Mediator.now med)
+  in
+  Alcotest.(check bool) "two runs replay identically" true (run () = run ())
+
+(* --- Retry, replan, breaker ---------------------------------------------------- *)
+
+(* The web source stalls for its first 1500 simulated ms. With a 1000 ms
+   timeout and a budget of two attempts the first execution fails at
+   t = 2010 (1000 + 10 backoff + 1000) — past the window — so the replan's
+   submit succeeds. *)
+let test_retry_then_replan_recovers () =
+  let policy =
+    { Health.default_policy with
+      Health.timeout_ms = 1000.;
+      max_attempts = 2;
+      backoff_base_ms = 10.;
+      breaker_threshold = 10 }
+  in
+  let faults = function
+    | "web" -> Some { Fault.none with Fault.stalls = [ (0., 1500.) ] }
+    | _ -> None
+  in
+  let med = make ~policy ~faults () in
+  let a = Mediator.run_query med "select l.id from Listing l" in
+  Alcotest.(check bool) "rows delivered" true (a.Mediator.rows <> []);
+  Alcotest.(check int) "one replan" 1 a.Mediator.replans;
+  (match a.Mediator.recovered with
+   | [ f ] ->
+     Alcotest.(check string) "failed source" "web" f.Run.source;
+     Alcotest.(check int) "attempts" 2 f.Run.attempts;
+     Alcotest.(check bool) "timeout reason" true (f.Run.reason = Run.Timeout)
+   | _ -> Alcotest.fail "expected exactly one recovered failure");
+  Alcotest.(check bool) "clock moved past the stall window" true
+    (Mediator.now med > 1500.)
+
+(* A permanently stalled source: two exhausted budgets open the breaker
+   (threshold 2), the second replan finds no plan, and the accumulated
+   failures surface as a structured report. A later query needing the open
+   source fails fast with the clear unavailability error. *)
+let test_breaker_opens_and_degrades () =
+  let policy =
+    { Health.default_policy with
+      Health.timeout_ms = 1000.;
+      max_attempts = 2;
+      backoff_base_ms = 100.;
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 50_000. }
+  in
+  let faults = function
+    | "web" -> Some { Fault.none with Fault.stalls = [ (0., 1e9) ] }
+    | _ -> None
+  in
+  let med = make ~policy ~faults () in
+  (match Mediator.run_query med "select l.id from Listing l" with
+   | _ -> Alcotest.fail "expected Degraded"
+   | exception Mediator.Degraded r ->
+     Alcotest.(check int) "two exhausted budgets" 2 (List.length r.Mediator.failures);
+     Alcotest.(check int) "both replans used" 2 r.Mediator.replans;
+     (match r.Mediator.unavailable with
+      | [ (src, until) ] ->
+        Alcotest.(check string) "web reported out" "web" src;
+        Alcotest.(check bool) "retry time in the future" true (until > Mediator.now med)
+      | _ -> Alcotest.fail "expected exactly web unavailable"));
+  Alcotest.(check bool) "circuit open" true
+    (match Health.state (Mediator.health med) "web" with
+     | Health.Open _ -> true
+     | _ -> false);
+  (* unaffected sources still answer *)
+  let ok = Mediator.run_query med "select e.id from Employee e where e.salary > 10000" in
+  Alcotest.(check int) "healthy source unaffected" 0 ok.Mediator.replans;
+  match Mediator.run_query med "select l.id from Listing l" with
+  | _ -> Alcotest.fail "expected Source_unavailable"
+  | exception Err.Source_unavailable { source; retry_at_ms } ->
+    Alcotest.(check string) "clear error names the source" "web" source;
+    Alcotest.(check bool) "and when to retry" true (retry_at_ms > Mediator.now med)
+
+(* After the cooldown the next availability check admits a half-open probe;
+   the stall window is over by then, so the probe succeeds and the circuit
+   closes. *)
+let test_half_open_probe_recovers () =
+  let policy =
+    { Health.default_policy with
+      Health.timeout_ms = 1000.;
+      max_attempts = 1;
+      breaker_threshold = 1;
+      breaker_cooldown_ms = 5_000. }
+  in
+  let faults = function
+    | "web" -> Some { Fault.none with Fault.stalls = [ (0., 3000.) ] }
+    | _ -> None
+  in
+  let med = make ~policy ~faults () in
+  (match Mediator.run_query med "select l.id from Listing l" with
+   | _ -> Alcotest.fail "expected Degraded"
+   | exception Mediator.Degraded _ -> ());
+  Alcotest.(check bool) "open after the failure" true
+    (match Health.state (Mediator.health med) "web" with
+     | Health.Open _ -> true
+     | _ -> false);
+  Mediator.set_now med 10_000.;
+  let a = Mediator.run_query med "select l.id from Listing l" in
+  Alcotest.(check bool) "probe answered" true (a.Mediator.rows <> []);
+  Alcotest.(check bool) "circuit closed again" true
+    (Health.state (Mediator.health med) "web" = Health.Closed)
+
+(* --- History feedback ----------------------------------------------------------- *)
+
+(* Retry/spike latency is charged to the measured TotalTime fed into the
+   history, so under Adjust mode a flaky source's adjustment factor rises
+   above 1 and its future estimates inflate. *)
+let test_adjust_feedback_inflates () =
+  let policy = { Health.default_policy with Health.timeout_ms = 1e6 } in
+  let faults = function
+    | "web" ->
+      Some
+        { Fault.none with Fault.seed = 1; spike_prob = 1.0; spike_ms = 50_000. }
+    | _ -> None
+  in
+  let med =
+    make ~policy ~history_mode:(History.Adjust { smoothing = 1.0 }) ~faults ()
+  in
+  ignore (Mediator.run_query med "select l.id from Listing l");
+  Alcotest.(check bool) "spiky source's adjust factor inflated" true
+    (Registry.adjust (Mediator.registry med) ~source:"web" > 1.)
+
+let () =
+  Alcotest.run "fault"
+    [ ( "injector",
+        [ Alcotest.test_case "decide deterministic" `Quick test_decide_deterministic;
+          Alcotest.test_case "windows" `Quick test_decide_windows;
+          Alcotest.test_case "parse_spec" `Quick test_parse_spec ] );
+      ( "differential",
+        [ Alcotest.test_case "zero profile inert" `Quick test_zero_profile_differential;
+          Alcotest.test_case "runs deterministic" `Quick test_runs_deterministic ] );
+      ( "policy",
+        [ Alcotest.test_case "retry then replan" `Quick test_retry_then_replan_recovers;
+          Alcotest.test_case "breaker opens, degrades" `Quick test_breaker_opens_and_degrades;
+          Alcotest.test_case "half-open probe" `Quick test_half_open_probe_recovers ] );
+      ( "history",
+        [ Alcotest.test_case "adjust feedback" `Quick test_adjust_feedback_inflates ] ) ]

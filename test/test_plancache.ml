@@ -153,6 +153,88 @@ let test_fifo_eviction () =
   Plancache.clear cache;
   Alcotest.(check int) "cleared" 0 (Plancache.size cache)
 
+(* Regression for the stale-drop / re-add churn bug: dropping a stale entry
+   left its FIFO occurrence in the queue, so re-adding the same key pushed a
+   duplicate and a later eviction removed the *re-added* (live, newer) entry
+   while an older key survived. *)
+let test_churn_readd_survives () =
+  let registry = fresh_registry () in
+  let cache = Plancache.create ~capacity:3 () in
+  let add i c = Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan i) c in
+  let find i = Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan i) in
+  List.iter (fun i -> add i (float_of_int i)) [ 1; 2; 3 ];
+  (* a model write makes every entry stale *)
+  Registry.register_adt registry ~name:"churn" ~cost_ms:1. ~selectivity:0.5;
+  Alcotest.(check (option (float 0.))) "stale entry dropped" None (find 2);
+  add 2 20.;
+  (* re-added under the new generation *)
+  add 4 4.;
+  (* evicts key 1, the oldest *)
+  add 5 5.;
+  (* must evict key 3 — not the freshly re-added key 2 *)
+  Alcotest.(check (option (float 0.))) "re-added entry survives churn" (Some 20.) (find 2);
+  Alcotest.(check (option (float 0.))) "older key evicted instead" None (find 3);
+  Alcotest.(check int) "capacity bound held" 3 (Plancache.size cache)
+
+(* Model-based property: random add/find/invalidate interleavings against an
+   insertion-ordered reference model. The cache must never exceed capacity,
+   must agree with the model on every lookup (including stale drops), and
+   must always evict the oldest resident key first. *)
+let prop_cache_model =
+  QCheck2.Test.make ~name:"random churn agrees with FIFO reference model"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 150) (pair (int_range 0 9) (int_range 0 10)))
+    (fun ops ->
+      let registry = fresh_registry () in
+      let capacity = 4 in
+      let cache = Plancache.create ~capacity () in
+      (* resident entries as (key, cost, generation-at-add), oldest first;
+         re-adds keep their queue position is NOT modelled — the cache
+         refreshes in place, so position is insertion order of first
+         residency, which the list preserves *)
+      let model : (int * float * int) list ref = ref [] in
+      let adts = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun step (key, kind) ->
+          (match kind with
+           | 0 | 1 | 2 | 3 ->
+             let cost = float_of_int step in
+             let gen = Registry.generation registry in
+             Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan key) cost;
+             if List.exists (fun (k, _, _) -> k = key) !model then
+               model :=
+                 List.map
+                   (fun (k, c, g) -> if k = key then (k, cost, gen) else (k, c, g))
+                   !model
+             else begin
+               let m =
+                 if List.length !model >= capacity then List.tl !model else !model
+               in
+               model := m @ [ (key, cost, gen) ]
+             end
+           | 4 | 5 | 6 | 7 ->
+             let expect =
+               match List.find_opt (fun (k, _, _) -> k = key) !model with
+               | Some (_, c, g) when g = Registry.generation registry -> Some c
+               | Some _ ->
+                 model := List.filter (fun (k, _, _) -> k <> key) !model;
+                 None
+               | None -> None
+             in
+             let got =
+               Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan key)
+             in
+             if got <> expect then ok := false
+           | _ ->
+             incr adts;
+             Registry.register_adt registry ~name:(Fmt.str "adt%d" !adts)
+               ~cost_ms:1. ~selectivity:0.5);
+          if Plancache.size cache > capacity then ok := false;
+          if Plancache.size cache <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let test_objectives_are_distinct_keys () =
   let registry = fresh_registry () in
   let cache = Plancache.create () in
@@ -326,6 +408,8 @@ let () =
             Alcotest.test_case "no-cache toggle" `Quick test_no_cache_flag_toggles ] );
       ( "mechanics",
         [ Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
+          Alcotest.test_case "churn re-add" `Quick test_churn_readd_survives;
+          QCheck_alcotest.to_alcotest prop_cache_model;
           Alcotest.test_case "objective keys" `Quick test_objectives_are_distinct_keys ] );
       ( "invalidation",
         [ Alcotest.test_case "add_rule" `Quick test_invalidate_add_rule;
