@@ -73,4 +73,21 @@ let () =
      Fmt.pr "root TotalTime priced by a %s-scope rule of source %S@."
        (Scope.to_string p.Estimator.rule_scope)
        p.Estimator.rule_source
-   | None -> ())
+   | None -> ());
+
+  (* 6. Static analysis of the blended model: the same lint pass that backs
+     [disco lint] and strict-mode registration, run in-process. The demo
+     exports are deliberately clean — every finding is informational
+     (shadowed defaults, min-combined ties, partial coverage with generic
+     fallback). A wrapper whose rules can divide by zero or drive a cost
+     negative would be rejected by [Mediator.create ~lint:`Error ()]. *)
+  hr ();
+  print_endline "Lint findings over the blended model:";
+  hr ();
+  let module A = Disco_analysis.Analyzer in
+  let findings = A.analyze (Mediator.registry blended) in
+  let count sev = List.length (List.filter (fun f -> f.A.severity = sev) findings) in
+  List.iter (fun f -> Fmt.pr "%a@." A.pp_finding f)
+    (List.filter (fun f -> f.A.severity <> A.Info) findings);
+  Fmt.pr "%d findings: %d errors, %d warnings, %d info@."
+    (List.length findings) (count A.Error) (count A.Warning) (count A.Info)

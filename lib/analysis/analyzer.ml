@@ -1,0 +1,791 @@
+(* Whole-model static analysis of the blended cost model.
+
+   Four passes over the registry (paper §3.3/§4: wrapper rules blended into
+   the mediator's generic model through the scope hierarchy):
+
+   - interval abstract interpretation of every rule body ({!Absint}) over
+     typed variable domains — cardinalities/sizes/times in [0, inf),
+     selectivities in [0, 1], [let] parameters at their registered values —
+     flagging possible division by zero, NaN, negative cost results, and
+     names coerced to numbers (the estimator's silent [Vname] fallback for
+     undefined variables);
+   - scope/shadowing analysis: pairwise head subsumption per
+     (source, operator) chain reports rules that can never fire because a
+     strictly more specific rule covers all their variables for every node
+     shape, and same-level overlaps whose results are min-combined (Fig 11);
+   - coverage analysis: for each source and operator, does the merged chain
+     define all five cost variables for every node shape, and where does a
+     wrapper's own export fall back to the generic model;
+   - inter-variable dependency cycle detection (TotalTime -> TotalSize ->
+     TotalTime through different rules), which diverges at evaluation time.
+
+   Findings carry severity, owning source, scope, and source locations
+   threaded from the lexer. *)
+
+open Disco_common
+open Disco_catalog
+open Disco_algebra
+open Disco_costlang
+open Disco_core
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  severity : severity;
+  tag : string;        (* stable machine tag: "div-zero", "dead-rule", ... *)
+  source : string;     (* owning source of the offending rule/parameter *)
+  operator : string option;
+  scope : Scope.t option;
+  where : string;      (* "rule scan(C)", "let AdtSel_match", ... *)
+  loc : Ast.pos option;
+  msg : string;
+}
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let of_severity s fs = List.filter (fun f -> f.severity = s) fs
+
+let pp_finding ppf f =
+  (match f.loc with
+   | Some p -> Fmt.pf ppf "%a: " Ast.pp_pos p
+   | None -> ());
+  Fmt.pf ppf "%s [%s] %s%a in %s: %s" (severity_name f.severity) f.tag f.source
+    Fmt.(option (fun ppf s -> pf ppf "/%s" s))
+    f.operator f.where f.msg
+
+(* --- Typed domains for rule-context references ---------------------------- *)
+
+(* Statistic tails of operand and attribute paths, with their ranges. Times,
+   sizes and cardinalities are nonnegative by the domain typing premise;
+   [Indexed] is a 0/1 flag; [Min]/[Max] may be non-numeric constants. *)
+let stat_domain = function
+  | "CountObject" | "TotalSize" | "ObjectSize" | "TimeFirst" | "TimeNext"
+  | "TotalTime" ->
+    Some Interval.nonneg
+  | "Indexed" -> Some Interval.unit
+  | "CountDistinct" -> Some Interval.nonneg
+  | _ -> None
+
+let aval_of_value (v : Value.t) : Absint.aval =
+  match v with
+  | Value.Vnum f -> Absint.Num (Interval.point f)
+  | Value.Vconst c ->
+    (match Constant.to_float_opt c with
+     | Some f -> Absint.Num (Interval.point f)
+     | None -> Absint.Name (Fmt.str "%a" Constant.pp c))
+  | Value.Vname n -> Absint.Name n
+  | Value.Vpred p -> Absint.Pred (Fmt.str "%a" Pred.pp p)
+
+(* What each head variable binds to at match time (mirrors
+   [Rule.match_head]). *)
+type head_kind =
+  | Koperand          (* child plan / base collection *)
+  | Kattr of string   (* attribute name (Battr) *)
+  | Kconst_or_attr    (* Pcmp right side: constant or attribute *)
+  | Kpred of string   (* whole predicate (Bpred) *)
+  | Kname             (* source name or attribute/group list (Bname) *)
+
+let head_kinds (h : Ast.head) : (string * head_kind) list =
+  let arg k = function Ast.Pvar v -> [ (v, k) ] | _ -> [] in
+  let pred = function
+    | Ast.Ppred_var v -> [ (v, Kpred v) ]
+    | Ast.Pcmp (l, _, r) ->
+      (match l with Ast.Pvar v -> [ (v, Kattr v) ] | _ -> [])
+      @ arg Kconst_or_attr r
+  in
+  match h with
+  | Ast.Hscan c | Ast.Hdedup c -> arg Koperand c
+  | Ast.Hselect (c, p) -> arg Koperand c @ pred p
+  | Ast.Hproject (c, a) | Ast.Hsort (c, a) | Ast.Haggregate (c, a) ->
+    arg Koperand c @ arg Kname a
+  | Ast.Hunion (l, r) -> arg Koperand l @ arg Koperand r
+  | Ast.Hjoin (l, r, p) -> arg Koperand l @ arg Koperand r @ pred p
+  | Ast.Hsubmit (w, c) -> arg Kname w @ arg Koperand c
+
+(* --- Interval pass over one rule ------------------------------------------ *)
+
+(* Reference resolution for the abstract interpreter, mirroring
+   [Estimator.resolve_ref]: body locals and earlier targets, then node-level
+   cost variables, then head bindings, then [let] parameters, then the
+   silent [Vname] fallback (whose numeric use the interpreter flags). *)
+let rule_resolver reg ~source ~kinds ~locals path : Absint.aval =
+  match path with
+  | [] -> Absint.Opaque
+  | [ x ] ->
+    (match Hashtbl.find_opt locals x with
+     | Some v -> v
+     | None ->
+       (match Ast.cost_var_of_name x with
+        | Some _ -> Absint.Num Interval.nonneg
+        | None ->
+          (match List.assoc_opt x kinds with
+           | Some Koperand ->
+             (* "operand used as a plain value" raises concretely; surfaces
+                as a numeric-name issue on coercion *)
+             Absint.Name x
+           | Some (Kattr a) -> Absint.Name a
+           | Some Kconst_or_attr -> Absint.Opaque
+           | Some (Kpred p) -> Absint.Pred p
+           | Some Kname -> Absint.Name x
+           | None ->
+             (match Registry.lookup_let_or_default reg ~source x with
+              | Some v -> aval_of_value v
+              | None -> Absint.Name x (* estimator's silent fallback *)
+              | exception _ -> Absint.Opaque))))
+  | x :: rest ->
+    let tail = List.hd (List.rev rest) in
+    let by_tail () =
+      match stat_domain tail with
+      | Some i -> Absint.Num i
+      | None -> Absint.Opaque
+    in
+    (match List.assoc_opt x kinds with
+     | Some Koperand | Some (Kattr _) -> by_tail ()
+     | Some _ -> Absint.Opaque
+     | None ->
+       (* literal path against the rule owner's catalog: resolves to the
+          registered statistic when the collection is known statically *)
+       (match Registry.catalog_path reg ~source path with
+        | Some v -> aval_of_value v
+        | None -> by_tail ()
+        | exception _ -> by_tail ()))
+
+(* One pass over a rule body with a transform applied to each formula
+   (identity for the AST pass, [Opt.pipeline] for the bytecode cross-check).
+   Sequential scoping: earlier targets' abstract values refine later
+   formulas, exactly like the concrete evaluator's [inst.values]. *)
+let body_pass reg (rule : Rule.t) (ast : Ast.rule) ~transform : finding list =
+  let source = rule.Rule.source in
+  let operator = Rule.operator rule in
+  let where = Fmt.str "rule %a" Pp.head ast.Ast.head in
+  let kinds = head_kinds ast.Ast.head in
+  let locals = Hashtbl.create 8 in
+  let findings = ref [] in
+  let add ?loc severity tag msg =
+    let f =
+      { severity; tag; source; operator = Some operator;
+        scope = Some rule.Rule.scope; where; loc; msg }
+    in
+    if not (List.mem f !findings) then findings := f :: !findings
+  in
+  let env =
+    { Absint.resolve = rule_resolver reg ~source ~kinds ~locals;
+      def_of =
+        (fun fn ->
+          match Registry.lookup_def_or_default reg ~source fn with
+          | Some d -> Some (d.Compile.params, d.Compile.def_ast)
+          | None -> None) }
+  in
+  List.iter
+    (fun (target, expr) ->
+      let name = Ast.target_name target in
+      let loc =
+        match Ast.target_pos ast name with
+        | Some _ as p -> p
+        | None -> ast.Ast.rule_pos
+      in
+      let expr = try transform expr with _ -> expr in
+      let v, issues = Absint.eval env expr in
+      List.iter
+        (fun (i : Absint.issue) ->
+          match i with
+          | Absint.Div_by_zero { definite } ->
+            add ?loc
+              (if definite then Error else Warning)
+              "div-zero"
+              (Fmt.str "%s in the formula for %s"
+                 (if definite then "division by zero"
+                  else
+                    "possible division by zero (the divisor interval \
+                     contains 0)")
+                 name)
+          | Absint.Numeric_name n ->
+            add ?loc Error "non-numeric"
+              (Fmt.str
+                 "%S is used where a number is required in the formula for %s \
+                  (undefined variables silently resolve to their own name)"
+                 n name)
+          | Absint.Unknown_call fn ->
+            add ?loc Error "unknown-function"
+              (Fmt.str "unknown function %S in the formula for %s" fn name))
+        issues;
+      (match target, v with
+       | Ast.Cost _, Absint.Num i ->
+         if Interval.definitely_neg i then
+           add ?loc Error "negative"
+             (Fmt.str "%s is always negative: %a" name Interval.pp i)
+         else if Interval.maybe_neg i then
+           add ?loc Info "negative"
+             (Fmt.str "%s may be negative: %a" name Interval.pp i);
+         if i.Interval.nan then
+           add ?loc Warning "nan"
+             (Fmt.str "%s may evaluate to NaN: %a" name Interval.pp i)
+       | Ast.Cost _, (Absint.Name n | Absint.Pred n) ->
+         add ?loc Error "non-numeric"
+           (Fmt.str "%s is assigned the non-numeric value %S" name n)
+       | _ -> ());
+      Hashtbl.replace locals name v)
+    ast.Ast.body;
+  List.rev !findings
+
+(* The verdict of a pass: which (tag, severity) classes it raised. The AST
+   and bytecode backends must agree — [Opt]'s rewrites are documented as
+   observationally equivalent. *)
+let verdict fs = List.sort_uniq compare (List.map (fun f -> (f.tag, f.severity)) fs)
+
+let analyze_rule reg (rule : Rule.t) : finding list =
+  match rule.Rule.ast with
+  | None -> []
+  | Some ast ->
+    let raw = body_pass reg rule ast ~transform:(fun e -> e) in
+    let lookup fn =
+      match
+        Registry.lookup_def_or_default reg ~source:rule.Rule.source fn
+      with
+      | Some d -> Some (d.Compile.params, d.Compile.def_ast)
+      | None -> None
+    in
+    let opt = body_pass reg rule ast ~transform:(Opt.pipeline ~lookup) in
+    if verdict raw <> verdict opt then
+      raw
+      @ [ { severity = Warning; tag = "backend-divergence";
+            source = rule.Rule.source;
+            operator = Some (Rule.operator rule);
+            scope = Some rule.Rule.scope;
+            where = Fmt.str "rule %a" Pp.head ast.Ast.head;
+            loc = ast.Ast.rule_pos;
+            msg =
+              "the AST and optimized (bytecode) forms of this rule disagree \
+               on lint verdicts — optimizer rewrites may not be \
+               observationally equivalent here" } ]
+    else raw
+
+(* --- ADT parameter ranges ------------------------------------------------- *)
+
+let has_prefix p s =
+  String.length s > String.length p && String.sub s 0 (String.length p) = p
+
+let adt_let_findings reg ~source : finding list =
+  List.filter_map
+    (fun n ->
+      let value () =
+        match Registry.lookup_let reg ~source n with
+        | Some (Value.Vnum f) -> Some f
+        | Some _ | None -> None
+        | exception _ -> None
+      in
+      if has_prefix "AdtSel_" n then
+        match value () with
+        | Some f when f < 0. || f > 1. ->
+          Some
+            { severity = Error; tag = "selectivity-range"; source;
+              operator = None; scope = None; where = "let " ^ n; loc = None;
+              msg =
+                Fmt.str "exported ADT selectivity is %g, outside [0, 1]" f }
+        | _ -> None
+      else if has_prefix "AdtCost_" n then
+        match value () with
+        | Some f when f < 0. ->
+          Some
+            { severity = Error; tag = "negative"; source; operator = None;
+              scope = None; where = "let " ^ n; loc = None;
+              msg = Fmt.str "exported ADT cost is negative (%g)" f }
+        | _ -> None
+      else None)
+    (Registry.let_names reg ~source)
+
+(* --- Head subsumption, overlap, universality ------------------------------ *)
+
+let unqual a =
+  match String.rindex_opt a '.' with
+  | Some i -> String.sub a (i + 1) (String.length a - i - 1)
+  | None -> a
+
+(* Operand positions: a literal name matches every instance of that
+   collection, including sub-interfaces. [inst child anc] is the catalog's
+   instance relation. *)
+let arg_sub ~inst a b =
+  match a, b with
+  | Ast.Pvar _, _ -> true
+  | Ast.Pname na, Ast.Pname nb -> inst nb na
+  | Ast.Pconst x, Ast.Pconst y -> Constant.equal x y
+  | _ -> false
+
+(* Attribute / constant positions of a predicate pattern: literal names
+   compare unqualified, constants structurally. *)
+let lit_sub a b =
+  match a, b with
+  | Ast.Pvar _, _ -> true
+  | Ast.Pname na, Ast.Pname nb -> String.equal (unqual na) (unqual nb)
+  | Ast.Pconst x, Ast.Pconst y -> Constant.equal x y
+  | _ -> false
+
+(* Submit's source position: exact name matching, no inheritance. *)
+let src_sub a b =
+  match a, b with
+  | Ast.Pvar _, _ -> true
+  | Ast.Pname na, Ast.Pname nb -> String.equal na nb
+  | _ -> false
+
+let pred_sub a b =
+  match a, b with
+  | Ast.Ppred_var _, _ -> true
+  | Ast.Pcmp (l, op, r), Ast.Pcmp (l', op', r') ->
+    op = op' && lit_sub l l' && lit_sub r r'
+  | Ast.Pcmp _, Ast.Ppred_var _ -> false
+
+(* [head_subsumes ~inst a b]: every node matched by [b] is matched by [a].
+   The attribute-list positions of project/sort/aggregate match
+   unconditionally (literals there are ignored by the matcher), so they
+   don't constrain subsumption. *)
+let head_subsumes ~inst a b =
+  match a, b with
+  | Ast.Hscan x, Ast.Hscan y | Ast.Hdedup x, Ast.Hdedup y -> arg_sub ~inst x y
+  | Ast.Hselect (c, p), Ast.Hselect (c', p') ->
+    arg_sub ~inst c c' && pred_sub p p'
+  | Ast.Hproject (c, _), Ast.Hproject (c', _)
+  | Ast.Hsort (c, _), Ast.Hsort (c', _)
+  | Ast.Haggregate (c, _), Ast.Haggregate (c', _) ->
+    arg_sub ~inst c c'
+  | Ast.Hjoin (l, r, p), Ast.Hjoin (l', r', p') ->
+    arg_sub ~inst l l' && arg_sub ~inst r r' && pred_sub p p'
+  | Ast.Hunion (l, r), Ast.Hunion (l', r') ->
+    arg_sub ~inst l l' && arg_sub ~inst r r'
+  | Ast.Hsubmit (w, c), Ast.Hsubmit (w', c') ->
+    src_sub w w' && arg_sub ~inst c c'
+  | _ -> false
+
+let arg_olap ~inst a b =
+  match a, b with
+  | Ast.Pvar _, _ | _, Ast.Pvar _ -> true
+  | Ast.Pname x, Ast.Pname y -> inst x y || inst y x
+  | _ -> false (* Pconst never matches an operand *)
+
+let lit_olap a b =
+  match a, b with
+  | Ast.Pvar _, _ | _, Ast.Pvar _ -> true
+  | Ast.Pname x, Ast.Pname y -> String.equal (unqual x) (unqual y)
+  | Ast.Pconst x, Ast.Pconst y -> Constant.equal x y
+  | _ -> false
+
+let src_olap a b =
+  match a, b with
+  | Ast.Pvar _, _ | _, Ast.Pvar _ -> true
+  | Ast.Pname x, Ast.Pname y -> String.equal x y
+  | _ -> false
+
+let pred_olap a b =
+  match a, b with
+  | Ast.Ppred_var _, _ | _, Ast.Ppred_var _ -> true
+  | Ast.Pcmp (l, op, r), Ast.Pcmp (l', op', r') ->
+    op = op' && lit_olap l l' && lit_olap r r'
+
+(* [heads_overlap ~inst a b]: some node can match both. *)
+let heads_overlap ~inst a b =
+  match a, b with
+  | Ast.Hscan x, Ast.Hscan y | Ast.Hdedup x, Ast.Hdedup y -> arg_olap ~inst x y
+  | Ast.Hselect (c, p), Ast.Hselect (c', p') ->
+    arg_olap ~inst c c' && pred_olap p p'
+  | Ast.Hproject (c, _), Ast.Hproject (c', _)
+  | Ast.Hsort (c, _), Ast.Hsort (c', _)
+  | Ast.Haggregate (c, _), Ast.Haggregate (c', _) ->
+    arg_olap ~inst c c'
+  | Ast.Hjoin (l, r, p), Ast.Hjoin (l', r', p') ->
+    arg_olap ~inst l l' && arg_olap ~inst r r' && pred_olap p p'
+  | Ast.Hunion (l, r), Ast.Hunion (l', r') ->
+    arg_olap ~inst l l' && arg_olap ~inst r r'
+  | Ast.Hsubmit (w, c), Ast.Hsubmit (w', c') ->
+    src_olap w w' && arg_olap ~inst c c'
+  | _ -> false
+
+(* A universal head matches every node of its operator: all constraining
+   positions are distinct free variables. *)
+let universal_head (h : Ast.head) =
+  let distinct =
+    let vs = Ast.head_var_names h in
+    List.length (List.sort_uniq String.compare vs) = List.length vs
+  in
+  distinct
+  &&
+  match h with
+  | Ast.Hscan (Ast.Pvar _) | Ast.Hdedup (Ast.Pvar _) -> true
+  | Ast.Hselect (Ast.Pvar _, Ast.Ppred_var _) -> true
+  | Ast.Hproject (Ast.Pvar _, _)
+  | Ast.Hsort (Ast.Pvar _, _)
+  | Ast.Haggregate (Ast.Pvar _, _) ->
+    true (* the attribute-list position matches unconditionally *)
+  | Ast.Hjoin (Ast.Pvar _, Ast.Pvar _, Ast.Ppred_var _) -> true
+  | Ast.Hunion (Ast.Pvar _, Ast.Pvar _) -> true
+  | Ast.Hsubmit (Ast.Pvar _, Ast.Pvar _) -> true
+  | _ -> false
+
+(* A head position the matcher can never satisfy: a constant in an operand,
+   attribute or source position. Such a rule can never fire. *)
+let unmatchable_head (h : Ast.head) : string option =
+  let op = function Ast.Pconst _ -> Some "a constant in an operand position" | _ -> None in
+  let pred = function
+    | Ast.Ppred_var _ -> None
+    | Ast.Pcmp (Ast.Pconst _, _, _) ->
+      Some "a constant in the attribute position of a predicate pattern"
+    | Ast.Pcmp _ -> None
+  in
+  let first l = List.find_opt Option.is_some l |> Option.join in
+  match h with
+  | Ast.Hscan c | Ast.Hdedup c -> op c
+  | Ast.Hselect (c, p) -> first [ op c; pred p ]
+  | Ast.Hproject (c, _) | Ast.Hsort (c, _) | Ast.Haggregate (c, _) -> op c
+  | Ast.Hunion (l, r) -> first [ op l; op r ]
+  | Ast.Hjoin (l, r, p) -> first [ op l; op r; pred p ]
+  | Ast.Hsubmit (w, c) ->
+    first
+      [ (match w with
+         | Ast.Pconst _ -> Some "a constant in the source position of submit"
+         | _ -> None);
+        op c ]
+
+(* --- Chain analyses: shadowing, ambiguity, coverage, cycles --------------- *)
+
+let pattern_head (r : Rule.t) =
+  match r.Rule.kind with Rule.Pattern h -> Some h | Rule.Exact _ -> None
+
+let rule_where (r : Rule.t) =
+  match pattern_head r with
+  | Some h -> Fmt.str "rule %a" Pp.head h
+  | None -> Fmt.str "rule #%d" r.Rule.id
+
+let rule_loc (r : Rule.t) =
+  Option.bind r.Rule.ast (fun a -> a.Ast.rule_pos)
+
+(* Bare cost-variable references of a formula (transitively through [def]
+   bodies), excluding names assigned earlier in the same rule body: these
+   re-enter the estimator's [require] at the same node and form the
+   dependency graph for cycle detection. *)
+let cost_var_deps ~def_of ~earlier (e : Ast.expr) : Ast.cost_var list =
+  let acc = ref [] in
+  let rec go depth e =
+    match e with
+    | Ast.Num _ | Ast.Str _ -> ()
+    | Ast.Ref [ x ] ->
+      (match Ast.cost_var_of_name x with
+       | Some v when not (List.mem x earlier) ->
+         if not (List.mem v !acc) then acc := v :: !acc
+       | _ -> ())
+    | Ast.Ref _ -> ()
+    | Ast.Neg e -> go depth e
+    | Ast.Binop (_, a, b) -> go depth a; go depth b
+    | Ast.Call (fn, args) ->
+      List.iter (go depth) args;
+      if depth < 8 then
+        match def_of fn with
+        | Some (_, body) -> go (depth + 1) body
+        | None -> ()
+  in
+  go 0 e;
+  !acc
+
+let analyze_chain reg ~source ~operator : finding list =
+  let chain =
+    Registry.rules_for reg ~source ~operator
+    |> List.filter (fun r -> Option.is_some (pattern_head r))
+  in
+  let head_of r = Option.get (pattern_head r) in
+  let cat = Registry.catalog reg in
+  let inst child anc =
+    String.equal child anc
+    || (try Catalog.is_instance cat ~source child anc with _ -> false)
+  in
+  let findings = ref [] in
+  let add ?loc ?rule_scope ~owner severity tag where msg =
+    let f =
+      { severity; tag; source = owner; operator = Some operator;
+        scope = rule_scope; where; loc; msg }
+    in
+    if not (List.mem f !findings) then findings := f :: !findings
+  in
+  (* unmatchable heads *)
+  List.iter
+    (fun r ->
+      match unmatchable_head (head_of r) with
+      | Some why ->
+        add ~owner:r.Rule.source ?loc:(rule_loc r)
+          ~rule_scope:r.Rule.scope Warning "unmatchable" (rule_where r)
+          (Fmt.str "this head can never match a node: %s" why)
+      | None -> ())
+    chain;
+  (* dead rules: every variable of [b] is provided by a strictly more
+     specific rule whose head subsumes [b]'s *)
+  let fully_dead =
+    List.filter
+      (fun b ->
+        b.Rule.provides <> []
+        &&
+        let shadowers =
+          List.filter
+            (fun a ->
+              a.Rule.id <> b.Rule.id
+              && Rule.compare_level a b > 0
+              && (not (Rule.same_level a b))
+              && head_subsumes ~inst (head_of a) (head_of b))
+            chain
+        in
+        List.for_all
+          (fun v ->
+            List.exists (fun a -> List.mem v a.Rule.provides) shadowers)
+          b.Rule.provides)
+      chain
+  in
+  List.iter
+    (fun b ->
+      let shadower =
+        List.find
+          (fun a ->
+            a.Rule.id <> b.Rule.id
+            && Rule.compare_level a b > 0
+            && (not (Rule.same_level a b))
+            && head_subsumes ~inst (head_of a) (head_of b))
+          chain
+      in
+      if String.equal b.Rule.source Registry.default_source
+         && not (String.equal source Registry.default_source)
+      then
+        add ~owner:source ?loc:(rule_loc shadower)
+          ~rule_scope:shadower.Rule.scope Info "shadows-default"
+          (rule_where shadower)
+          (Fmt.str
+             "fully overrides the generic %s (%s scope, intentional blending)"
+             (rule_where b)
+             (Scope.to_string b.Rule.scope))
+      else
+        add ~owner:b.Rule.source ?loc:(rule_loc b) ~rule_scope:b.Rule.scope
+          Warning "dead-rule" (rule_where b)
+          (Fmt.str
+             "dead rule: %s (%s scope) matches every node this rule matches \
+              and provides all of its variables, so this rule can never \
+              contribute"
+             (rule_where shadower)
+             (Scope.to_string shadower.Rule.scope)))
+    fully_dead;
+  let dead_ids = List.map (fun r -> r.Rule.id) fully_dead in
+  let live = List.filter (fun r -> not (List.mem r.Rule.id dead_ids)) chain in
+  (* same-level ambiguity: overlapping heads providing the same variable are
+     all evaluated and min-combined (paper §4.2 step 3) *)
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if
+            String.equal a.Rule.source b.Rule.source
+            && Rule.same_level a b
+            && heads_overlap ~inst (head_of a) (head_of b)
+          then begin
+            let shared =
+              List.filter (fun v -> List.mem v b.Rule.provides) a.Rule.provides
+            in
+            if shared <> [] then
+              add ~owner:a.Rule.source ?loc:(rule_loc a)
+                ~rule_scope:a.Rule.scope Info "ambiguous" (rule_where a)
+                (Fmt.str
+                   "overlaps %s at the same matching level; %s will be \
+                    min-combined (competing strategies)"
+                   (rule_where b)
+                   (String.concat ", "
+                      (List.map Ast.cost_var_name shared)))
+          end)
+        rest;
+      pairs rest
+  in
+  pairs live;
+  (* coverage: per variable, does some live universal-head rule provide it,
+     and does the wrapper's own export cover it or fall back to defaults *)
+  let own = List.filter (fun r -> String.equal r.Rule.source source) live in
+  if own <> [] || String.equal source Registry.default_source then begin
+    let missing = ref [] and conditional = ref [] in
+    let own_partial = ref [] and own_none = ref [] in
+    List.iter
+      (fun v ->
+        let providers =
+          List.filter (fun r -> List.mem v r.Rule.provides) live
+        in
+        let universal =
+          List.filter (fun r -> universal_head (head_of r)) providers
+        in
+        if providers = [] then missing := v :: !missing
+        else if universal = [] then conditional := (v, providers) :: !conditional;
+        if not (String.equal source Registry.default_source) then begin
+          let own_p = List.filter (fun r -> List.mem r.Rule.id (List.map (fun o -> o.Rule.id) own)) providers in
+          if own_p = [] && providers <> [] then own_none := v :: !own_none
+          else if own_p <> [] && not (List.exists (fun r -> universal_head (head_of r)) own_p)
+          then own_partial := v :: !own_partial
+        end)
+      Ast.all_cost_vars;
+    if !missing <> [] then
+      add ~owner:source Error "coverage" (Fmt.str "operator %s" operator)
+        (Fmt.str
+           "no rule in the merged chain provides %s: estimation will fail \
+            for every %s node"
+           (String.concat ", " (List.map Ast.cost_var_name (List.rev !missing)))
+           operator);
+    List.iter
+      (fun (v, providers) ->
+        add ~owner:source Error "coverage" (Fmt.str "operator %s" operator)
+          (Fmt.str
+             "%s is only provided for restricted node shapes (%s): other %s \
+              nodes have no formula and estimation will fail"
+             (Ast.cost_var_name v)
+             (String.concat "; " (List.map rule_where providers))
+             operator))
+      (List.rev !conditional);
+    if !own_none <> [] then
+      add ~owner:source Info "fallback" (Fmt.str "operator %s" operator)
+        (Fmt.str "%s %s provided only by the generic model for %s nodes"
+           (String.concat ", " (List.map Ast.cost_var_name (List.rev !own_none)))
+           (if List.length !own_none = 1 then "is" else "are")
+           operator);
+    if !own_partial <> [] then
+      add ~owner:source Info "fallback" (Fmt.str "operator %s" operator)
+        (Fmt.str
+           "%s exported only for some node shapes; other %s nodes fall back \
+            to the generic model"
+           (String.concat ", " (List.map Ast.cost_var_name (List.rev !own_partial)))
+           operator)
+  end;
+  (* inter-variable dependency cycles across the chain's live rules *)
+  let edges =
+    List.concat_map
+      (fun r ->
+        match r.Rule.ast with
+        | None -> []
+        | Some ast ->
+          let def_of fn =
+            match
+              Registry.lookup_def_or_default reg ~source:r.Rule.source fn
+            with
+            | Some d -> Some (d.Compile.params, d.Compile.def_ast)
+            | None -> None
+          in
+          let _, edges =
+            List.fold_left
+              (fun (earlier, acc) (target, expr) ->
+                let name = Ast.target_name target in
+                let acc =
+                  match target with
+                  | Ast.Cost v ->
+                    List.map
+                      (fun w -> (v, w, r))
+                      (cost_var_deps ~def_of ~earlier expr)
+                    @ acc
+                  | Ast.Local _ -> acc
+                in
+                (name :: earlier, acc))
+              ([], []) ast.Ast.body
+          in
+          edges)
+      live
+  in
+  let succ v = List.filter (fun (a, _, _) -> a = v) edges in
+  let reported = ref [] in
+  let rec dfs path v =
+    if List.mem v path then begin
+      (* cycle: the segment of [path] from [v] back to [v] *)
+      let rec upto = function
+        | [] -> []
+        | x :: rest -> if x = v then [ x ] else x :: upto rest
+      in
+      let cycle = List.sort_uniq compare (v :: upto path) in
+      if not (List.mem cycle !reported) then begin
+        reported := cycle :: !reported;
+        let cyc_edges =
+          List.filter (fun (a, b, _) -> List.mem a cycle && List.mem b cycle) edges
+        in
+        let rules =
+          List.sort_uniq compare (List.map (fun (_, _, r) -> rule_where r) cyc_edges)
+        in
+        let loc =
+          match cyc_edges with (_, _, r) :: _ -> rule_loc r | [] -> None
+        in
+        add ~owner:source ?loc Error "cycle" (String.concat ", " rules)
+          (Fmt.str
+             "circular cost-variable dependency %s for operator %s: \
+              evaluation cannot terminate"
+             (String.concat " -> "
+                (List.map Ast.cost_var_name (cycle @ [ List.hd cycle ])))
+             operator)
+      end
+    end
+    else List.iter (fun (_, w, _) -> dfs (v :: path) w) (succ v)
+  in
+  List.iter (fun v -> dfs [] v) Ast.all_cost_vars;
+  List.rev !findings
+
+(* --- Whole-source and whole-model entry points ---------------------------- *)
+
+let dedup fs =
+  List.rev
+    (List.fold_left (fun acc f -> if List.mem f acc then acc else f :: acc) [] fs)
+
+let analyze_source reg ~source : finding list =
+  let own =
+    Registry.source_rules reg ~source
+    |> List.filter (fun r -> Option.is_some (pattern_head r))
+  in
+  let rule_findings = List.concat_map (analyze_rule reg) own in
+  let ops =
+    if String.equal source Registry.default_source then Check.known_operators
+    else List.sort_uniq String.compare (List.map Rule.operator own)
+  in
+  let chain_findings =
+    List.concat_map (fun op -> analyze_chain reg ~source ~operator:op) ops
+  in
+  dedup (rule_findings @ adt_let_findings reg ~source @ chain_findings)
+
+let analyze reg : finding list =
+  dedup
+    (List.concat_map
+       (fun source -> analyze_source reg ~source)
+       (Registry.sources reg))
+
+(* --- Reporting ------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (fs : finding list) : string =
+  let field k v = Fmt.str "%S: %s" k v in
+  let str k v = field k (Fmt.str "\"%s\"" (json_escape v)) in
+  let one f =
+    let fields =
+      [ str "severity" (severity_name f.severity);
+        str "tag" f.tag;
+        str "source" f.source ]
+      @ (match f.operator with Some o -> [ str "operator" o ] | None -> [])
+      @ (match f.scope with
+         | Some s -> [ str "scope" (Scope.to_string s) ]
+         | None -> [])
+      @ [ str "where" f.where ]
+      @ (match f.loc with
+         | Some p ->
+           [ field "line" (string_of_int p.Ast.line);
+             field "col" (string_of_int p.Ast.col) ]
+         | None -> [])
+      @ [ str "msg" f.msg ]
+    in
+    "  {" ^ String.concat ", " fields ^ "}"
+  in
+  "[\n" ^ String.concat ",\n" (List.map one fs) ^ "\n]\n"

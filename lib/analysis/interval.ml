@@ -1,0 +1,161 @@
+(* Interval arithmetic over the extended reals, the value domain of the
+   abstract interpreter ({!Absint}). An element approximates the set of
+   floats a formula can evaluate to: every concrete result lies in
+   [[lo, hi]], plus NaN when [nan] is set.
+
+   Two conventions keep the domain useful on cost formulas:
+
+   - An infinite endpoint means "unbounded but finite": the inputs we
+     abstract (cardinalities, sizes, times) are finite reals with no a
+     priori upper bound. Endpoint arithmetic therefore resolves the IEEE
+     indeterminate forms 0 * inf and inf - inf to the sound finite-reading
+     bound instead of poisoning the interval with NaN — [0, inf) * [0, 1]
+     is [0, inf), not "maybe NaN".
+   - [nan] is set only by operations that can produce NaN from *finite*
+     inputs: ln/log2/sqrt of a possibly-negative argument, pow with a
+     possibly-negative base. It then propagates through arithmetic. *)
+
+type t = { lo : float; hi : float; nan : bool }
+
+let v ?(nan = false) lo hi = { lo; hi; nan }
+
+let point f =
+  if Float.is_nan f then { lo = neg_infinity; hi = infinity; nan = true }
+  else { lo = f; hi = f; nan = false }
+
+let top = { lo = neg_infinity; hi = infinity; nan = false }
+let top_nan = { lo = neg_infinity; hi = infinity; nan = true }
+let nonneg = { lo = 0.; hi = infinity; nan = false }
+let unit = { lo = 0.; hi = 1.; nan = false }
+let ge1 = { lo = 1.; hi = infinity; nan = false }
+
+let with_nan n i = if n then { i with nan = true } else i
+
+let contains i x = if Float.is_nan x then i.nan else i.lo <= x && x <= i.hi
+
+let contains_zero i = i.lo <= 0. && i.hi >= 0.
+let is_zero i = i.lo = 0. && i.hi = 0. && not i.nan
+let definitely_neg i = i.hi < 0.
+let maybe_neg i = i.lo < 0.
+
+let join a b =
+  { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi; nan = a.nan || b.nan }
+
+(* Resolve an indeterminate endpoint (inf - inf) to the requested bound. *)
+let ep_lo f = if Float.is_nan f then neg_infinity else f
+let ep_hi f = if Float.is_nan f then infinity else f
+
+let add a b =
+  { lo = ep_lo (a.lo +. b.lo); hi = ep_hi (a.hi +. b.hi); nan = a.nan || b.nan }
+
+let sub a b =
+  { lo = ep_lo (a.lo -. b.hi); hi = ep_hi (a.hi -. b.lo); nan = a.nan || b.nan }
+
+let neg a = { lo = -.a.hi; hi = -.a.lo; nan = a.nan }
+
+(* 0 * inf = 0 at endpoints: the zero endpoint is exact while the infinite
+   one only stands for an unbounded finite input. *)
+let mul_ep x y = if x = 0. || y = 0. then 0. else x *. y
+
+let mul a b =
+  let c1 = mul_ep a.lo b.lo
+  and c2 = mul_ep a.lo b.hi
+  and c3 = mul_ep a.hi b.lo
+  and c4 = mul_ep a.hi b.hi in
+  { lo = Float.min (Float.min c1 c2) (Float.min c3 c4);
+    hi = Float.max (Float.max c1 c2) (Float.max c3 c4);
+    nan = a.nan || b.nan }
+
+(* The concrete evaluator raises on a zero divisor, so a divisor interval
+   touching 0 is reported to the caller; the value component stays a sound
+   approximation of the non-raising executions. *)
+type div_status = Div_ok | Div_maybe_zero | Div_zero
+
+let div a b =
+  let nan = a.nan || b.nan in
+  if b.lo = 0. && b.hi = 0. then
+    (* every non-NaN divisor raises *)
+    ({ top with nan }, (if b.nan then Div_maybe_zero else Div_zero))
+  else if contains_zero b then ({ top with nan }, Div_maybe_zero)
+  else
+    let cands =
+      List.filter
+        (fun x -> not (Float.is_nan x))
+        [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ]
+    in
+    (match cands with
+     | [] -> ({ top with nan }, Div_ok)
+     | c :: rest ->
+       ( { lo = List.fold_left Float.min c rest;
+           hi = List.fold_left Float.max c rest;
+           nan },
+         Div_ok ))
+
+(* Monotone-increasing unary function; [dom_lo] is where NaN starts (the
+   function is undefined strictly below it). *)
+let mono_incr ?(dom_lo = neg_infinity) f i =
+  if i.hi < dom_lo then top_nan
+  else
+    let nan = i.nan || i.lo < dom_lo in
+    let lo = f (Float.max i.lo dom_lo) and hi = f i.hi in
+    { lo = ep_lo lo; hi = ep_hi hi; nan }
+
+let exp_ i = mono_incr exp i
+
+(* ln/log2 at exactly 0 are a true -inf from a finite input — the one place
+   the "infinite endpoints are unbounded finite" reading breaks (a later
+   0 * -inf or -inf - -inf really is NaN). A possibly-zero argument
+   therefore taints the result with [nan] on top of the -inf endpoint. *)
+let ln_ i =
+  with_nan (contains_zero i) (mono_incr ~dom_lo:0. log i)
+
+let log2_ i =
+  with_nan (contains_zero i) (mono_incr ~dom_lo:0. (fun x -> log x /. log 2.) i)
+
+let sqrt_ i = mono_incr ~dom_lo:0. sqrt i
+let ceil_ i = mono_incr ceil i
+let floor_ i = mono_incr floor i
+
+let abs_ i =
+  if i.lo >= 0. then i
+  else if i.hi <= 0. then neg i
+  else { lo = 0.; hi = Float.max (-.i.lo) i.hi; nan = i.nan }
+
+(* pow(a, b) = exp(b * ln a) for a >= 0: over a box, b * ln a is extremal at
+   corners and exp is monotone, so corner evaluation is sound. A possibly
+   negative base can yield NaN (fractional exponent), so we give up on the
+   value there. *)
+let pow_ a b =
+  let nan = a.nan || b.nan in
+  if a.lo >= 0. then
+    let cands =
+      List.filter
+        (fun x -> not (Float.is_nan x))
+        [ Float.pow a.lo b.lo; Float.pow a.lo b.hi; Float.pow a.hi b.lo;
+          Float.pow a.hi b.hi ]
+    in
+    match cands with
+    | [] -> { top with nan }
+    | c :: rest ->
+      { lo = List.fold_left Float.min c rest;
+        hi = List.fold_left Float.max c rest;
+        nan }
+  else top_nan
+
+let min_ a b =
+  { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi; nan = a.nan || b.nan }
+
+let max_ a b =
+  { lo = Float.max a.lo b.lo; hi = Float.max a.hi b.hi; nan = a.nan || b.nan }
+
+(* if(c, t, e): the concrete builtin takes the then-branch when c <> 0 —
+   which includes a NaN condition — so a condition interval is only decisive
+   when it is NaN-free. *)
+let ite c t e =
+  if c.nan then join t e
+  else if is_zero c then e
+  else if not (contains_zero c) then t
+  else join t e
+
+let pp ppf i =
+  Format.fprintf ppf "[%g, %g]%s" i.lo i.hi (if i.nan then "?nan" else "")

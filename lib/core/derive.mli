@@ -29,7 +29,12 @@ val find : t -> string -> attr_stat option
 
 val find_loose : t -> string -> attr_stat option
 (** Qualified lookup, falling back to matching the unqualified part; supports
-    rules written with bare attribute names such as [id]. *)
+    rules written with bare attribute names such as [id]. When several
+    qualified attributes share the bare name (e.g. [e.id] and [d.id] above a
+    join), the tie-break is derivation order: the {e first} entry wins, which
+    for a join means the left operand's attribute (children are concatenated
+    left-to-right by {!of_node}). Rules that care which side they read should
+    use the qualified name. *)
 
 val of_catalog_attr : Stats.attribute -> attr_stat
 

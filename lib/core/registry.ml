@@ -464,6 +464,22 @@ let matching t ~source (node : Disco_algebra.Plan.t) : (Rule.t * Rule.bindings) 
 
 let rule_count t ~source = List.length (entry t source).rules
 
+(* --- Iteration (used by the static analyzer) ----------------------------- *)
+
+let sources t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.sources []
+  |> List.sort String.compare
+
+let source_rules t ~source =
+  match Hashtbl.find_opt t.sources source with
+  | None -> []
+  | Some e -> List.rev e.rules  (* declaration order *)
+
+let let_names t ~source =
+  match Hashtbl.find_opt t.sources source with
+  | None -> []
+  | Some e -> List.map fst e.lets
+
 let set_adjust t ~source f =
   (entry t source).adjust <- f;
   bump t

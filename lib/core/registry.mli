@@ -107,6 +107,23 @@ val matching : t -> source:string -> Disco_algebra.Plan.t -> (Rule.t * Rule.bind
 
 val rule_count : t -> source:string -> int
 
+(** {1 Iteration}
+
+    Whole-model traversal for the static analyzer ([lib/analysis]): every
+    registered source, each source's own compiled rules with their scopes,
+    and its [let] parameter names. *)
+
+val sources : t -> string list
+(** All registered source names (including ["default"] and ["mediator"] when
+    populated), sorted. *)
+
+val source_rules : t -> source:string -> Rule.t list
+(** The source's own rules in declaration order (no default-model merge —
+    use {!rules_for} for merged chains). *)
+
+val let_names : t -> source:string -> string list
+(** Names of the source's [let] parameters, in declaration order. *)
+
 (** {1 ADT operation costs (paper §7)}
 
     Wrappers export the per-call cost and selectivity of their abstract-

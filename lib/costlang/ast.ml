@@ -11,6 +11,12 @@ open Disco_common
 open Disco_algebra
 open Disco_catalog
 
+(* Source location of a syntactic element, threaded from the lexer. [None]
+   positions mark rules synthesized programmatically rather than parsed. *)
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
 type binop = Add | Sub | Mul | Div
 
 type expr =
@@ -107,7 +113,19 @@ let head_var_names (h : head) : string list =
 type rule = {
   head : head;
   body : (target * expr) list;  (* in declaration order; scoping is sequential *)
+  rule_pos : pos option;          (* position of the [rule] keyword *)
+  body_pos : (string * pos) list; (* assignment-target name -> position *)
 }
+
+let mk_rule ?pos ?(body_pos = []) head body =
+  { head; body; rule_pos = pos; body_pos }
+
+let target_pos r name = List.assoc_opt name r.body_pos
+
+(* Positions don't participate in semantic identity: two parses of the same
+   text at different offsets denote the same rule. Comparisons (pp/parse
+   round-trips, differential tests) go through the erasers below. *)
+let erase_rule_pos r = { r with rule_pos = None; body_pos = [] }
 
 (* Cost variables a rule provides formulas for. *)
 let rule_provides r =
@@ -140,6 +158,18 @@ type item =
       (* operators the wrapper can execute (paper §2.1); absent = all *)
 
 type source_decl = { source_name : string; items : item list }
+
+let erase_source_pos (s : source_decl) =
+  let member = function
+    | Iface_rule r -> Iface_rule (erase_rule_pos r)
+    | m -> m
+  in
+  let item = function
+    | Interface i -> Interface { i with members = List.map member i.members }
+    | Toplevel_rule r -> Toplevel_rule (erase_rule_pos r)
+    | it -> it
+  in
+  { s with items = List.map item s.items }
 
 (* Free-variable convention: single capital letter, optional digits. *)
 let is_variable_name s =

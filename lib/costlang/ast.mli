@@ -12,6 +12,13 @@ open Disco_common
 open Disco_algebra
 open Disco_catalog
 
+(** Source location of a syntactic element, threaded from the lexer. [None]
+    positions mark rules synthesized programmatically rather than parsed. *)
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+(** ["line:col"]. *)
+
 type binop = Add | Sub | Mul | Div
 
 type expr =
@@ -76,7 +83,20 @@ val head_var_names : head -> string list
 type rule = {
   head : head;
   body : (target * expr) list;  (** declaration order; scoping is sequential *)
+  rule_pos : pos option;          (** position of the [rule] keyword *)
+  body_pos : (string * pos) list; (** assignment-target name -> position *)
 }
+
+val mk_rule : ?pos:pos -> ?body_pos:(string * pos) list ->
+  head -> (target * expr) list -> rule
+(** Build a rule; positions default to absent (synthesized rule). *)
+
+val target_pos : rule -> string -> pos option
+(** Position of the assignment to the named target, when parsed. *)
+
+val erase_rule_pos : rule -> rule
+(** Drop all positions. Positions don't participate in semantic identity;
+    comparisons of reparsed rules should erase them first. *)
 
 val rule_provides : rule -> cost_var list
 (** Cost variables the rule has formulas for. *)
@@ -111,6 +131,9 @@ type item =
       (** operators the wrapper can execute (paper §2.1); absent = all *)
 
 type source_decl = { source_name : string; items : item list }
+
+val erase_source_pos : source_decl -> source_decl
+(** [erase_rule_pos] applied to every rule in the declaration. *)
 
 val is_variable_name : string -> bool
 (** The free-variable convention: a single capital letter, optionally

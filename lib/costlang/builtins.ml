@@ -29,6 +29,18 @@ let yao_exact ~objects:n ~pages:m ~selected:k =
 let yao_approx ~pages:m ~selected:k =
   if m <= 0. then 0. else 1. -. exp (-.k /. m)
 
+(* Canonical name lists. [names] must stay in sync with [find] below (a test
+   resolves every entry); [context_function_names] is the single source of
+   truth for the functions the estimator provides at evaluation time — both
+   [Check] and the static analyzer consume it. *)
+let names =
+  [ "exp"; "ln"; "log2"; "sqrt"; "ceil"; "floor"; "abs"; "pow"; "min"; "max";
+    "if"; "yao"; "yaoapprox" ]
+
+let context_function_names =
+  [ "sel"; "selectivity"; "indexed"; "rindexed"; "adtcost"; "adjust"; "nnames";
+    "groupcard" ]
+
 let arity_error name n =
   raise (Err.Eval_error (Fmt.str "builtin %s: wrong number of arguments (%d)" name n))
 

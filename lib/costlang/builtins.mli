@@ -3,6 +3,15 @@
     mediator context (catalog statistics, bound predicates) — [sel],
     [indexed], ... — are provided by the estimator, not here. *)
 
+val names : string list
+(** Canonical list of pure builtins; every entry resolves through {!find}. *)
+
+val context_function_names : string list
+(** Canonical list of the functions the mediator's estimator provides at
+    evaluation time beyond the pure builtins ([sel], [selectivity],
+    [indexed], [rindexed], [adtcost], [adjust], [nnames], [groupcard]).
+    {!Check} and the static analyzer both consume this list. *)
+
 val yao_exact : objects:float -> pages:float -> selected:float -> float
 (** Yao'77: expected {e fraction} of pages touched when selecting [selected]
     of [objects] records spread uniformly over [pages] pages. Monotone in

@@ -8,20 +8,26 @@ type severity = Error | Warning
 type issue = {
   severity : severity;
   where : string;  (* "rule scan(C)", "interface Employee", ... *)
+  loc : Ast.pos option;  (* position from the lexer; None for synthesized rules *)
   msg : string;
 }
 
-let issue severity where msg = { severity; where; msg }
+let issue ?loc severity where msg = { severity; where; loc; msg }
 
 let pp_issue ppf i =
+  (* With a location we lead with line:col so terminal output is clickable;
+     without one (synthesized rules) we keep the historical format. *)
+  (match i.loc with
+   | Some p -> Fmt.pf ppf "%a: " Ast.pp_pos p
+   | None -> ());
   Fmt.pf ppf "%s in %s: %s"
     (match i.severity with Error -> "error" | Warning -> "warning")
     i.where i.msg
 
-(* Functions the mediator provides at evaluation time, beyond {!Builtins}. *)
-let context_functions =
-  [ "sel"; "selectivity"; "indexed"; "rindexed"; "adtcost"; "adjust"; "nnames";
-    "groupcard" ]
+(* Functions the mediator provides at evaluation time, beyond {!Builtins}.
+   The canonical list lives in {!Builtins} so the evaluator, this checker and
+   the static analyzer can't drift apart. *)
+let context_functions = Builtins.context_function_names
 
 (* Statistic path tails understood by the estimator. *)
 let operand_stats =
@@ -51,7 +57,10 @@ let head_vars (h : Ast.head) : string list =
 let check_rule ~lets ~defs (r : Ast.rule) : issue list =
   let where = Fmt.str "rule %a" Pp.head r.Ast.head in
   let issues = ref [] in
-  let add sev msg = issues := issue sev where msg :: !issues in
+  (* Expression positions aren't tracked, so issues point at the enclosing
+     assignment (or the rule keyword for rule-level issues). *)
+  let cur_loc = ref r.Ast.rule_pos in
+  let add sev msg = issues := issue ?loc:!cur_loc sev where msg :: !issues in
   let bound = ref (head_vars r.Ast.head) in
   let is_bound name =
     List.mem name !bound || List.mem name lets
@@ -93,12 +102,17 @@ let check_rule ~lets ~defs (r : Ast.rule) : issue list =
       let name =
         match target with Ast.Cost v -> Ast.cost_var_name v | Ast.Local n -> n
       in
+      (cur_loc :=
+         match Ast.target_pos r name with
+         | Some _ as p -> p
+         | None -> r.Ast.rule_pos);
       if List.mem name !assigned then
         add Error (Fmt.str "duplicate assignment to %S" name);
       assigned := name :: !assigned;
       check_expr e;
       bound := name :: !bound)
     r.Ast.body;
+  cur_loc := r.Ast.rule_pos;
   if r.Ast.body = [] then add Warning "rule has an empty body";
   List.rev !issues
 

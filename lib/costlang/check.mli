@@ -15,16 +15,24 @@ type severity = Error | Warning
 type issue = {
   severity : severity;
   where : string;  (** "rule scan(C)", "interface Employee", ... *)
+  loc : Ast.pos option;
+      (** position threaded from the lexer; [None] for synthesized rules *)
   msg : string;
 }
 
-val issue : severity -> string -> string -> issue
+val issue : ?loc:Ast.pos -> severity -> string -> string -> issue
 
 val pp_issue : Format.formatter -> issue -> unit
+(** Prints ["line:col: severity in where: msg"] when a location is known and
+    falls back to the historical ["severity in where: msg"] otherwise. *)
 
 val context_functions : string list
 (** Functions the mediator provides at evaluation time beyond {!Builtins}
-    ([sel], [indexed], [adtcost], ...). *)
+    ([sel], [indexed], [adtcost], ...). Equal to
+    {!Builtins.context_function_names}. *)
+
+val known_operators : string list
+(** Operator names valid in rule heads and capability lists. *)
 
 val check_rule : lets:string list -> defs:string list -> Ast.rule -> issue list
 

@@ -252,26 +252,32 @@ let head c : Ast.head =
 
 (* --- Rules, interfaces, sources ---------------------------------------- *)
 
+let pos_here c : Ast.pos =
+  let s = c.toks.(c.i) in
+  { Ast.line = s.Lexer.line; col = s.Lexer.col }
+
 let rule c : Ast.rule =
+  let rpos = pos_here c in
   keyword c "rule";
   let h = head c in
   eat c LBRACE;
-  let rec assigns acc =
+  let rec assigns acc pos_acc =
     match peek c with
     | RBRACE ->
       advance c;
-      List.rev acc
+      (List.rev acc, List.rev pos_acc)
     | IDENT name ->
       let target = Ast.target_of_name name in
+      let tpos = pos_here c in
       advance c;
       eat c EQ;
       let e = expr c in
       eat c SEMI;
-      assigns ((target, e) :: acc)
+      assigns ((target, e) :: acc) ((name, tpos) :: pos_acc)
     | t -> error_at c (Fmt.str "expected result assignment or '}', found %a" Lexer.pp_token t)
   in
-  let body = assigns [] in
-  { Ast.head = h; body }
+  let body, body_pos = assigns [] [] in
+  { Ast.head = h; body; rule_pos = Some rpos; body_pos }
 
 let schema_ty c =
   match ident c with

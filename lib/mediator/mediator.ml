@@ -29,11 +29,16 @@ type t = {
      re-estimates from scratch — the reference behavior the differential
      tests compare against *)
   mutable cache_enabled : bool;
+  (* strict-mode contract for registration-time static analysis: [`Error]
+     rejects an export whose lint has error-severity findings, [`Warn] logs
+     and keeps them inspectable, [`Off] skips the analyzer *)
+  lint : [ `Error | `Warn | `Off ];
+  mutable last_lint : Disco_analysis.Analyzer.finding list;
   mutable wrappers : (string * Wrapper.t) list;
 }
 
 let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
-    ?policy () =
+    ?policy ?(lint = `Warn) () =
   let catalog = Catalog.create () in
   let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
@@ -44,6 +49,8 @@ let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
     health = Health.create ?policy ();
     now = 0.;
     cache_enabled = cache;
+    lint;
+    last_lint = [];
     wrappers = [] }
 
 let registry t = t.registry
@@ -55,6 +62,8 @@ let now t = t.now
 let set_now t v = t.now <- v
 let cache_enabled t = t.cache_enabled
 let set_cache_enabled t on = t.cache_enabled <- on
+let lint_mode t = t.lint
+let last_lint t = t.last_lint
 
 let active_cache t = if t.cache_enabled then Some t.plancache else None
 
@@ -71,6 +80,34 @@ let register t (w : Wrapper.t) =
           (Fmt.str "registration of %S rejected: %a" w.Wrapper.name
              Disco_costlang.Check.pp_issue err)));
   ignore (Registry.register_source_decl t.registry decl);
+  (* static analysis of the freshly blended model (lib/analysis): in strict
+     mode an export whose merged chains can raise, diverge or produce
+     meaningless costs is rejected and rolled back *)
+  (match t.lint with
+   | `Off -> t.last_lint <- []
+   | (`Warn | `Error) as mode ->
+     let module A = Disco_analysis.Analyzer in
+     let findings =
+       A.analyze_source t.registry ~source:decl.Disco_costlang.Ast.source_name
+     in
+     t.last_lint <- findings;
+     (match mode, A.errors findings with
+      | `Error, (err :: _ as errs) ->
+        Registry.clear_source t.registry ~source:decl.Disco_costlang.Ast.source_name;
+        raise
+          (Err.Eval_error
+             (Fmt.str "registration of %S rejected by lint (%d error%s): %a"
+                w.Wrapper.name (List.length errs)
+                (if List.length errs = 1 then "" else "s")
+                A.pp_finding err))
+      | _, _ ->
+        List.iter
+          (fun f ->
+            match f.A.severity with
+            | A.Error | A.Warning ->
+              Logs.warn (fun m -> m "lint: %a" A.pp_finding f)
+            | A.Info -> Logs.info (fun m -> m "lint: %a" A.pp_finding f))
+          findings));
   t.wrappers <- (w.Wrapper.name, w) :: List.remove_assoc w.Wrapper.name t.wrappers
 
 let find_wrapper t name =

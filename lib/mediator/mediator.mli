@@ -19,14 +19,19 @@ type t
 val create :
   ?backend:Registry.backend -> ?calibration:Generic.calibration ->
   ?history_mode:History.mode -> ?cache:bool -> ?policy:Health.policy ->
-  unit -> t
+  ?lint:[ `Error | `Warn | `Off ] -> unit -> t
 (** A fresh mediator with its generic cost model installed. [backend]
     selects the formula backend (bytecode by default; [Registry.Closure] is
     the differential reference). [cache] (default on) enables the
     cross-query plan/cost cache; disabling it is the reference behavior the
     differential tests compare against. [policy] sets the submit policy —
     per-source timeout, retry budget, backoff, circuit breaker
-    ({!Health.default_policy} when omitted). *)
+    ({!Health.default_policy} when omitted). [lint] is the strict-mode
+    contract for registration-time static analysis
+    ({!Disco_analysis.Analyzer}): [`Error] rejects (and rolls back) an
+    export whose lint has error-severity findings, [`Warn] (the default)
+    logs findings and keeps them inspectable via {!last_lint}, [`Off]
+    skips the analyzer. *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t
@@ -54,8 +59,17 @@ val set_now : t -> float -> unit
 
 val register : t -> Wrapper.t -> unit
 (** The registration phase: the wrapper returns schemas, statistics and cost
-    information; the mediator compiles and stores them. Re-registering a
-    wrapper refreshes its statistics. *)
+    information; the mediator compiles and stores them, then statically
+    analyzes the blended model per the mediator's [lint] mode.
+    Re-registering a wrapper refreshes its statistics.
+    @raise Disco_common.Err.Eval_error in [`Error] lint mode when the
+    export has error-severity findings; the source's rules are rolled
+    back. *)
+
+val lint_mode : t -> [ `Error | `Warn | `Off ]
+
+val last_lint : t -> Disco_analysis.Analyzer.finding list
+(** Findings from the most recent {!register} (empty in [`Off] mode). *)
 
 val find_wrapper : t -> string -> Wrapper.t
 (** @raise Disco_common.Err.Unknown_source when absent. *)

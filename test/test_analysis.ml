@@ -1,0 +1,490 @@
+(* Tests for lib/analysis: the interval domain, soundness of the abstract
+   interpreter against the concrete evaluator, and the whole-model analyzer —
+   seeded regressions it must catch, and the shipped models it must pass. *)
+
+open Disco_common
+open Disco_costlang
+open Disco_core
+open Disco_wrapper
+open Disco_mediator
+open Disco_analysis
+
+(* --- Fixtures ---------------------------------------------------------------- *)
+
+let reg_with texts =
+  let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+  Generic.register registry;
+  List.iter
+    (fun t -> ignore (Registry.register_text registry ~what:"test source" t))
+    texts;
+  registry
+
+(* 1-based line/col of the first (or last) occurrence of [sub] in [text]:
+   the expected lexer position of a seeded defect. *)
+let pos_of ?(last = false) text sub =
+  let idx =
+    let rec all from acc =
+      match String.index_from_opt text from sub.[0] with
+      | Some i when i + String.length sub <= String.length text
+                    && String.sub text i (String.length sub) = sub ->
+        all (i + 1) (i :: acc)
+      | Some i -> all (i + 1) acc
+      | None -> acc
+    in
+    match all 0 [] with
+    | [] -> Alcotest.failf "substring %S not found" sub
+    | is -> if last then List.hd is else List.hd (List.rev is)
+  in
+  let line = ref 1 and bol = ref 0 in
+  String.iteri
+    (fun i c ->
+      if i < idx && c = '\n' then begin
+        incr line;
+        bol := i + 1
+      end)
+    text;
+  { Ast.line = !line; col = idx - !bol + 1 }
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let find_tag fs tag =
+  match List.filter (fun f -> f.Analyzer.tag = tag) fs with
+  | [] -> Alcotest.failf "no %S finding" tag
+  | f :: _ -> f
+
+let check_sev what expected (f : Analyzer.finding) =
+  Alcotest.(check string) what
+    (Analyzer.severity_name expected)
+    (Analyzer.severity_name f.Analyzer.severity)
+
+let check_loc what expected (f : Analyzer.finding) =
+  match f.Analyzer.loc with
+  | None -> Alcotest.failf "%s: finding has no location" what
+  | Some p ->
+    Alcotest.(check (pair int int)) what
+      (expected.Ast.line, expected.Ast.col)
+      (p.Ast.line, p.Ast.col)
+
+let item_interface =
+  {|interface Item {
+    attribute long id;
+    cardinality extent(1000, 50000, 50);
+    cardinality attribute(id, true, 1000, 1, 1000);
+  }|}
+
+(* --- Interval domain ---------------------------------------------------------- *)
+
+let test_interval_ops () =
+  let open Interval in
+  Alcotest.(check bool) "mul 0*inf endpoint" true
+    (let i = mul nonneg unit in
+     i.lo = 0. && i.hi = infinity && not i.nan);
+  Alcotest.(check bool) "sub introduces negatives" true
+    (maybe_neg (sub nonneg nonneg));
+  Alcotest.(check bool) "point div ok" true
+    (let i, st = div (point 10.) (point 4.) in
+     st = Div_ok && i.lo = 2.5 && i.hi = 2.5);
+  Alcotest.(check bool) "div by zero definite" true
+    (snd (div (point 1.) (point 0.)) = Div_zero);
+  Alcotest.(check bool) "div by nonneg maybe zero" true
+    (snd (div (point 1.) nonneg) = Div_maybe_zero);
+  Alcotest.(check bool) "ln of possibly-negative is nan" true
+    (ln_ (v (-1.) 1.)).nan;
+  Alcotest.(check bool) "ln of positive is nan-free" true (not (ln_ ge1).nan);
+  Alcotest.(check bool) "ln of possibly-zero is tainted" true (ln_ nonneg).nan;
+  Alcotest.(check bool) "ite decisive on nonzero cond" true
+    (ite (point 1.) (point 2.) (point 3.) = point 2.);
+  Alcotest.(check bool) "ite joins on uncertain cond" true
+    (let i = ite unit (point 2.) (point 3.) in
+     i.lo = 2. && i.hi = 3.)
+
+(* --- Canonical builtin lists (satellite: hoisted into Builtins) --------------- *)
+
+let test_builtin_names_resolve () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " resolves") true
+        (Option.is_some (Builtins.find n)))
+    Builtins.names;
+  (* context functions are the estimator's, not pure builtins — the two
+     canonical lists must stay disjoint *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " is not a pure builtin") true
+        (Option.is_none (Builtins.find n));
+      (* the abstract interpreter has a transfer function for each: no
+         unknown-call issue, numeric result *)
+      let env =
+        { Absint.resolve = (fun _ -> Absint.Opaque); def_of = (fun _ -> None) }
+      in
+      let v, issues = Absint.eval env (Ast.Call (n, [])) in
+      Alcotest.(check bool) (n ^ " abstracts to a number") true
+        (Option.is_some (Absint.interval_of v));
+      Alcotest.(check int) (n ^ " raises no issue") 0 (List.length issues))
+    Builtins.context_function_names;
+  (* Check consumes the same list: a rule using a context function passes *)
+  let r =
+    Parser.parse_rule ~what:"test"
+      "rule select(C, P) { TotalTime = sel(P) * nnames(C); }"
+  in
+  Alcotest.(check int) "check accepts context functions" 0
+    (List.length (Check.errors (Check.check_rule r ~lets:[] ~defs:[])))
+
+(* --- Seeded regression: possible division by zero ----------------------------- *)
+
+let divzero_text =
+  {|source srcz {
+  |} ^ item_interface
+  ^ {|
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = 1;
+    TimeNext = 1;
+    TotalTime = C.TotalSize / C.CountObject;
+  }
+}|}
+
+let test_seeded_divzero () =
+  let reg = reg_with [ divzero_text ] in
+  let fs = Analyzer.analyze_source reg ~source:"srcz" in
+  let f = find_tag fs "div-zero" in
+  check_sev "possible divisor zero is a warning" Analyzer.Warning f;
+  check_loc "location is the TotalTime assignment"
+    (pos_of divzero_text "TotalTime = C.TotalSize") f;
+  Alcotest.(check string) "owned by srcz" "srcz" f.Analyzer.source;
+  (* a warning, not an error: strict mode does not reject it *)
+  Alcotest.(check int) "no error findings" 0
+    (List.length (Analyzer.errors fs))
+
+(* --- Seeded regression: negative cost ----------------------------------------- *)
+
+let negative_text =
+  {|source srcn {
+  |} ^ item_interface
+  ^ {|
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = 0 - 5;
+    TimeNext = 1;
+    TotalTime = 1;
+  }
+}|}
+
+let test_seeded_negative () =
+  let reg = reg_with [ negative_text ] in
+  let fs = Analyzer.analyze_source reg ~source:"srcn" in
+  let f = find_tag fs "negative" in
+  check_sev "definitely negative cost is an error" Analyzer.Error f;
+  check_loc "location is the TimeFirst assignment"
+    (pos_of negative_text "TimeFirst = 0 - 5") f
+
+(* --- Seeded regression: dead rule shadowed by a collection-scope rule ---------- *)
+
+let dead_text =
+  {|source srcd {
+  interface Item {
+    attribute long id;
+    cardinality extent(1000, 50000, 50);
+    cardinality attribute(id, true, 1000, 1, 1000);
+    rule scan(C) {
+      CountObject = C.CountObject;
+      TotalSize = C.TotalSize;
+      TimeFirst = 2;
+      TimeNext = 2;
+      TotalTime = 2;
+    }
+  }
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = 5;
+    TimeNext = 5;
+    TotalTime = 5;
+  }
+}|}
+
+let test_seeded_dead_rule () =
+  let reg = reg_with [ dead_text ] in
+  let fs = Analyzer.analyze_source reg ~source:"srcd" in
+  let f = find_tag fs "dead-rule" in
+  check_sev "dead rule is a warning" Analyzer.Warning f;
+  (* the victim is the toplevel (wrapper-scope) rule — the second
+     "rule scan(C)" in the text *)
+  check_loc "location is the shadowed toplevel rule"
+    (pos_of ~last:true dead_text "rule scan(C)") f;
+  Alcotest.(check bool) "message names the collection-scope shadower" true
+    (contains_sub f.Analyzer.msg "collection")
+
+(* --- Seeded regression: cost-variable dependency cycle ------------------------- *)
+
+let cycle_text =
+  {|source srcc {
+  |} ^ item_interface
+  ^ {|
+  rule sort(C, A) {
+    TotalTime = TotalSize * 2;
+  }
+  rule sort(C, A) {
+    TotalSize = TotalTime / 2;
+  }
+}|}
+
+let test_seeded_cycle () =
+  let reg = reg_with [ cycle_text ] in
+  let fs = Analyzer.analyze_source reg ~source:"srcc" in
+  let f = find_tag fs "cycle" in
+  check_sev "dependency cycle is an error" Analyzer.Error f;
+  Alcotest.(check bool) "cycle names both variables" true
+    (contains_sub f.Analyzer.msg "TotalTime"
+     && contains_sub f.Analyzer.msg "TotalSize")
+
+(* --- Coverage: a chain missing a variable is an error -------------------------- *)
+
+let test_coverage_missing_var () =
+  (* an operator nobody (not even the generic model) covers does not exist;
+     instead: a conditional-only provider — TimeNext defined only for scans
+     of the literal collection, other scans fall back... to nothing once the
+     generic chain is absent. Build a registry WITHOUT the generic model. *)
+  let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+  ignore
+    (Registry.register_text registry ~what:"test"
+       ({|source srcm {
+  |} ^ item_interface
+       ^ {|
+  rule scan(C) {
+    CountObject = C.CountObject;
+    TotalSize = C.TotalSize;
+    TimeFirst = 1;
+  }
+}|}));
+  let fs = Analyzer.analyze_chain registry ~source:"srcm" ~operator:"scan" in
+  let f = find_tag fs "coverage" in
+  check_sev "missing cost variables are an error" Analyzer.Error f
+
+(* --- The shipped models lint clean under --strict ------------------------------ *)
+
+let test_generic_model_clean () =
+  let reg = reg_with [] in
+  let fs = Analyzer.analyze reg in
+  Alcotest.(check int) "generic + mediator model has no error findings" 0
+    (List.length (Analyzer.errors fs));
+  (* and the expected benign findings are present: the competing same-level
+     select strategies are reported as min-combined ambiguity *)
+  ignore (find_tag fs "ambiguous")
+
+let test_demo_federation_clean_strict () =
+  (* `Error lint mode: registration itself is the strict gate *)
+  let med = Mediator.create ~lint:`Error () in
+  List.iter (Mediator.register med) (Demo.make ~sizes:Demo.small_sizes ());
+  let fs = Analyzer.analyze (Mediator.registry med) in
+  Alcotest.(check int) "demo federation has no error findings" 0
+    (List.length (Analyzer.errors fs));
+  (* the objstore index join exports no TimeNext: fallback to generic *)
+  Alcotest.(check bool) "objstore join falls back for TimeNext" true
+    (List.exists
+       (fun f ->
+         f.Analyzer.tag = "fallback" && f.Analyzer.source = "objstore"
+         && f.Analyzer.operator = Some "join")
+       fs)
+
+let test_oo7_clean_strict () =
+  let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+  Generic.register registry;
+  let src =
+    Disco_oo7.Oo7.make_source ~config:Disco_oo7.Oo7.small_config
+      ~with_rules:true ()
+  in
+  ignore (Registry.register_source_decl registry (Wrapper.registration_decl src));
+  let fs = Analyzer.analyze_source registry ~source:"oo7" in
+  Alcotest.(check int) "oo7 export has no error findings" 0
+    (List.length (Analyzer.errors fs))
+
+(* --- Strict registration rejects and rolls back -------------------------------- *)
+
+let test_strict_mode_rejects () =
+  let med = Mediator.create ~lint:`Error () in
+  let bad =
+    match Demo.make ~sizes:Demo.small_sizes () with
+    | w :: _ ->
+      { w with
+        Wrapper.rules_text =
+          {|rule scan(C) {
+  CountObject = C.CountObject;
+  TotalSize = C.TotalSize;
+  TimeFirst = 0 - 5;
+  TimeNext = 1;
+  TotalTime = 1;
+}|} }
+    | [] -> assert false
+  in
+  (match Mediator.register med bad with
+   | () -> Alcotest.fail "strict registration should have rejected the export"
+   | exception Err.Eval_error msg ->
+     Alcotest.(check bool) "error mentions lint" true (contains_sub msg "lint"));
+  Alcotest.(check int) "rules rolled back" 0
+    (Registry.rule_count (Mediator.registry med) ~source:bad.Wrapper.name);
+  (* Warn mode keeps the same export and records the findings *)
+  let med2 = Mediator.create ~lint:`Warn () in
+  Mediator.register med2 bad;
+  Alcotest.(check bool) "warn mode keeps the export" true
+    (Registry.rule_count (Mediator.registry med2) ~source:bad.Wrapper.name > 0);
+  Alcotest.(check bool) "warn mode records the error finding" true
+    (Analyzer.errors (Mediator.last_lint med2) <> []);
+  (* Off mode skips the analyzer *)
+  let med3 = Mediator.create ~lint:`Off () in
+  Mediator.register med3 bad;
+  Alcotest.(check int) "off mode records nothing" 0
+    (List.length (Mediator.last_lint med3))
+
+(* --- JSON output ---------------------------------------------------------------- *)
+
+let test_json_output () =
+  let reg = reg_with [ negative_text ] in
+  let fs = Analyzer.analyze_source reg ~source:"srcn" in
+  let json = Analyzer.to_json fs in
+  let has sub = contains_sub json sub in
+  Alcotest.(check bool) "json has severity field" true
+    (has {|"severity": "error"|});
+  Alcotest.(check bool) "json has tag field" true (has {|"tag": "negative"|});
+  Alcotest.(check bool) "json has line field" true (has {|"line": |})
+
+(* --- Soundness: abstract interpretation vs the concrete evaluator --------------- *)
+
+(* Random formulas over three typed variables: N abstracted as [0, inf)
+   (concrete nonnegative), S as [0, 1] (concrete selectivity), X as top.
+   Function set and constant ranges are chosen so intermediates cannot
+   overflow to infinity — the domain's "unbounded finite" endpoint reading
+   assumes finite inputs (exp/pow excluded). *)
+let gen_env =
+  QCheck2.Gen.(
+    triple (map float_of_int (int_range 0 10_000))
+      (float_bound_inclusive 1.0)
+      (map float_of_int (int_range (-1000) 1000)))
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized_size (int_bound 8)
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [ map (fun i -> Ast.Num (float_of_int i)) (int_range (-50) 50);
+                 oneofl [ Ast.Ref [ "N" ]; Ast.Ref [ "S" ]; Ast.Ref [ "X" ] ] ]
+           in
+           if n <= 0 then leaf
+           else
+             oneof
+               [ leaf;
+                 map3
+                   (fun op a b -> Ast.Binop (op, a, b))
+                   (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ])
+                   (self (n / 2)) (self (n / 2));
+                 map (fun e -> Ast.Neg e) (self (n - 1));
+                 map2
+                   (fun f e -> Ast.Call (f, [ e ]))
+                   (oneofl [ "ln"; "log2"; "sqrt"; "ceil"; "floor"; "abs" ])
+                   (self (n - 1));
+                 map3
+                   (fun f a b -> Ast.Call (f, [ a; b ]))
+                   (oneofl [ "min"; "max"; "yaoapprox" ])
+                   (self (n / 2)) (self (n / 2));
+                 map3
+                   (fun c t e -> Ast.Call ("if", [ c; t; e ]))
+                   (self (n / 3)) (self (n / 3)) (self (n / 3));
+                 map3
+                   (fun a b c -> Ast.Call ("yao", [ a; b; c ]))
+                   (self (n / 3)) (self (n / 3)) (self (n / 3)) ]))
+
+let abstract_env =
+  { Absint.resolve =
+      (function
+        | [ "N" ] -> Absint.Num Interval.nonneg
+        | [ "S" ] -> Absint.Num Interval.unit
+        | [ "X" ] -> Absint.Num Interval.top
+        | _ -> Absint.Opaque);
+    def_of = (fun _ -> None) }
+
+let concrete_ctx (n, s, x) =
+  { Compile.resolve_ref =
+      (function
+        | [ "N" ] -> Value.num n
+        | [ "S" ] -> Value.num s
+        | [ "X" ] -> Value.num x
+        | path -> Fmt.failwith "unexpected ref %s" (String.concat "." path));
+    call =
+      (fun fn args ->
+        match Builtins.find fn with
+        | Some f -> f args
+        | None -> Fmt.failwith "unexpected call %s" fn) }
+
+let soundness_prop (e, env) =
+  let av, issues = Absint.eval abstract_env e in
+  match Compile.eval_num (Compile.compile e) (concrete_ctx env) with
+  | exception Err.Eval_error _ ->
+    (* the only raising construct the generator produces is division by
+       zero: the abstract pass must have flagged it *)
+    List.exists
+      (function Absint.Div_by_zero _ -> true | _ -> false)
+      issues
+  | f ->
+    (match av with
+     | Absint.Num i -> Interval.contains i f
+     | _ -> false (* all generated expressions are numeric *))
+
+let test_soundness =
+  QCheck2.Test.make ~name:"interval analysis sound vs concrete evaluation"
+    ~count:1000
+    ~print:(fun (e, (n, s, x)) ->
+      Fmt.str "%a with N=%g S=%g X=%g" Pp.expr e n s x)
+    QCheck2.Gen.(pair gen_expr gen_env)
+    soundness_prop
+
+(* Constant folding / simplification must not change what the lint sees:
+   the analyzer cross-checks the AST pass against the optimized form and
+   reports divergence, so the optimizer must preserve issue verdicts. *)
+let opt_verdict_prop e =
+  let issues_of e = snd (Absint.eval abstract_env e) in
+  let opt = Opt.pipeline ~lookup:(fun _ -> None) e in
+  List.sort compare (issues_of e) = List.sort compare (issues_of opt)
+
+let test_opt_verdict =
+  QCheck2.Test.make ~name:"Opt.pipeline never changes the lint verdict"
+    ~count:1000 gen_expr opt_verdict_prop
+
+(* --- Run ------------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "interval",
+        [ Alcotest.test_case "operations" `Quick test_interval_ops ] );
+      ( "builtins",
+        [ Alcotest.test_case "canonical lists resolve" `Quick
+            test_builtin_names_resolve ] );
+      ( "seeded regressions",
+        [ Alcotest.test_case "possible division by zero" `Quick
+            test_seeded_divzero;
+          Alcotest.test_case "negative cost" `Quick test_seeded_negative;
+          Alcotest.test_case "dead rule" `Quick test_seeded_dead_rule;
+          Alcotest.test_case "dependency cycle" `Quick test_seeded_cycle;
+          Alcotest.test_case "missing coverage" `Quick
+            test_coverage_missing_var ] );
+      ( "shipped models",
+        [ Alcotest.test_case "generic model clean" `Quick
+            test_generic_model_clean;
+          Alcotest.test_case "demo federation clean under strict" `Quick
+            test_demo_federation_clean_strict;
+          Alcotest.test_case "oo7 clean under strict" `Quick
+            test_oo7_clean_strict ] );
+      ( "strict registration",
+        [ Alcotest.test_case "rejects and rolls back" `Quick
+            test_strict_mode_rejects;
+          Alcotest.test_case "json findings" `Quick test_json_output ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_soundness; test_opt_verdict ] ) ]

@@ -740,6 +740,20 @@ let test_find_loose () =
   Alcotest.(check bool) "qualified still works" true (Derive.find_loose s "e.salary" <> None);
   Alcotest.(check bool) "missing" true (Derive.find_loose s "zzz" = None)
 
+let test_find_loose_ambiguity () =
+  (* two qualified attributes share a bare name, as above a self-join on [id]:
+     the bare lookup resolves in derivation order, so the first entry — the
+     left operand's attribute — wins, and qualified names stay unambiguous *)
+  let left = { Derive.default_stat with Derive.distinct = 11. } in
+  let right = { Derive.default_stat with Derive.distinct = 22. } in
+  let stats = [ ("e.id", left); ("d.id", right) ] in
+  (match Derive.find_loose stats "id" with
+   | Some s -> Alcotest.(check (float 0.)) "bare name: left wins" 11. s.Derive.distinct
+   | None -> Alcotest.fail "bare lookup");
+  (match Derive.find_loose stats "d.id" with
+   | Some s -> Alcotest.(check (float 0.)) "qualified picks the side" 22. s.Derive.distinct
+   | None -> Alcotest.fail "qualified lookup")
+
 (* --- Selectivity estimation --------------------------------------------------- *)
 
 let test_selest () =
@@ -872,7 +886,9 @@ let () =
         [ Alcotest.test_case "scan and select" `Quick test_derive_scan_and_select;
           Alcotest.test_case "range narrowing" `Quick test_derive_range_narrowing;
           Alcotest.test_case "join and project" `Quick test_derive_join_and_project;
-          Alcotest.test_case "loose lookup" `Quick test_find_loose ] );
+          Alcotest.test_case "loose lookup" `Quick test_find_loose;
+          Alcotest.test_case "loose lookup ambiguity" `Quick
+            test_find_loose_ambiguity ] );
       ( "selectivity",
         [ Alcotest.test_case "estimates" `Quick test_selest;
           Alcotest.test_case "no-stats fallbacks" `Quick test_selest_no_stats_fallbacks;
