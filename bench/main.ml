@@ -20,11 +20,14 @@
      formula — cost-formula throughput, bytecode VM vs closure backend
                (--json=PATH writes the BENCH JSON record to a file)
      faults — fault injection: zero-fault differential, determinism,
-              availability vs latency sweep (--json=PATH as above) *)
+              availability vs latency sweep (--json=PATH as above)
+     parallel — domain-parallel plan search and scatter-gather execution:
+              speedup curve over 1..N domains with bit-identity checks
+              (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula"; "faults" ]
+    "formula"; "faults"; "parallel" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -64,6 +67,7 @@ let () =
       | "micro" -> Micro.print ()
       | "formula" -> Micro.print_formula ~smoke:small ?json_path ()
       | "faults" -> Faults.print ~smoke:small ?json_path ()
+      | "parallel" -> Parallel.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

@@ -523,21 +523,13 @@ let print_formula ?(smoke = false) ?json_path () =
         Util.f2 (oo7_c /. Float.max oo7_b 1e-9) ^ "x" ];
       [ "federation-plan"; Util.f1 fed_c; Util.f1 fed_b;
         Util.f2 (fed_c /. Float.max fed_b 1e-9) ^ "x" ] ];
-  let json =
-    Fmt.str
-      {|{"bench":"formula","smoke":%b,"iters":%d,"formulas":%d,"closure_ns_per_eval":%.1f,"bytecode_ns_per_eval":%.1f,"speedup":%.2f,"registry":[{"name":"oo7-estimate","closure_ns":%.1f,"bytecode_ns":%.1f},{"name":"federation-plan","closure_ns":%.1f,"bytecode_ns":%.1f}]}|}
-      smoke iters
-      (List.fold_left (fun a (u, _) -> a + List.length u.Formula.progs) 0 units)
-      closure_ns vm_ns speedup oo7_c oo7_b fed_c fed_b
-  in
-  Fmt.pr "  BENCH JSON %s@." json;
-  (match json_path with
-   | Some path ->
-     let oc = open_out path in
-     output_string oc json;
-     output_char oc '\n';
-     close_out oc
-   | None -> ());
+  Util.bench_json ?json_path ~bench:"formula"
+    ~domains:(Disco_parallel.Pool.env_domains ())
+    [ Fmt.str
+        {|"smoke":%b,"iters":%d,"formulas":%d,"closure_ns_per_eval":%.1f,"bytecode_ns_per_eval":%.1f,"speedup":%.2f,"registry":[{"name":"oo7-estimate","closure_ns":%.1f,"bytecode_ns":%.1f},{"name":"federation-plan","closure_ns":%.1f,"bytecode_ns":%.1f}]|}
+        smoke iters
+        (List.fold_left (fun a (u, _) -> a + List.length u.Formula.progs) 0 units)
+        closure_ns vm_ns speedup oo7_c oo7_b fed_c fed_b ];
   if (not smoke) && speedup < 2. then
     Fmt.failwith
       "formula bench: bytecode speedup %.2fx is below the 2x target" speedup;

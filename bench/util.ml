@@ -42,3 +42,22 @@ let geomean xs =
        /. float_of_int (max (List.length xs) 1))
 
 let maximum xs = List.fold_left Float.max neg_infinity xs
+
+(* Emit the one-line machine-readable record every bench ends with, and
+   optionally persist it (--json=PATH). [domains] is the domain-pool degree
+   the bench ran under — every record carries it so archived CI artifacts
+   from parallel and sequential runs stay distinguishable. [fields] are
+   pre-rendered `"key":value` JSON members. *)
+let bench_json ?json_path ~bench ~domains fields =
+  let json =
+    Fmt.str {|{"bench":%S,"domains":%d,%s}|} bench domains
+      (String.concat "," fields)
+  in
+  Fmt.pr "  BENCH JSON %s@." json;
+  match json_path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc
+  | None -> ()

@@ -37,6 +37,14 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain-pool degree for parallel plan search and scatter-gather submit \
+     execution (1 = sequential; results are bit-identical at any value). \
+     Defaults to $(b,DISCO_DOMAINS), else 1."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let fault_arg =
   let doc =
     "Install fault-injection profiles, e.g. \
@@ -61,14 +69,16 @@ let objective_of = function
   | "first" -> Optimizer.First_tuple
   | other -> Fmt.failwith "unknown objective %S (total|first)" other
 
-let make_mediator ?(no_cache = false) ?fault ~small ~seed ~history ~no_rules () =
+let make_mediator ?(no_cache = false) ?fault ?domains ~small ~seed ~history
+    ~no_rules () =
   let sizes = if small then Demo.small_sizes else Demo.default_sizes in
   let wrappers = Demo.make ~seed ~sizes () in
   let wrappers =
     if no_rules then List.map Wrapper.without_rules wrappers else wrappers
   in
   let med =
-    Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache) ()
+    Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache)
+      ?domains ()
   in
   List.iter (Mediator.register med) wrappers;
   (match fault with
@@ -95,10 +105,11 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault objective sql =
+  let run small seed history no_rules no_cache fault domains objective sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+            ~no_rules ()
         in
         let a = Mediator.run_query ~objective:(objective_of objective) med sql in
         List.iter (fun row -> Fmt.pr "%a@." Tuple.pp_with_names row) a.Mediator.rows;
@@ -120,7 +131,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ objective_arg $ sql)
+      $ fault_arg $ domains_arg $ objective_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -128,10 +139,11 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault sql =
+  let run small seed history no_rules no_cache fault domains sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+            ~no_rules ()
         in
         print_string (Mediator.explain med sql))
   in
@@ -142,7 +154,7 @@ let explain_cmd =
           the rule that produced each one.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ sql)
+      $ fault_arg $ domains_arg $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -150,10 +162,11 @@ let analyze_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault sql =
+  let run small seed history no_rules no_cache fault domains sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ~small ~seed ~history ~no_rules ()
+          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+            ~no_rules ()
         in
         print_string (Mediator.analyze med sql))
   in
@@ -162,7 +175,7 @@ let analyze_cmd =
        ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ sql)
+      $ fault_arg $ domains_arg $ sql)
 
 (* --- registration ----------------------------------------------------------------- *)
 
@@ -304,10 +317,11 @@ let health_cmd =
     let doc = "Probe submits per source." in
     Arg.(value & opt int 3 & info [ "probes" ] ~doc)
   in
-  let run small seed fault probes =
+  let run small seed fault domains probes =
     handle (fun () ->
         let med, wrappers =
-          make_mediator ?fault ~small ~seed ~history:"off" ~no_rules:false ()
+          make_mediator ?fault ?domains ~small ~seed ~history:"off"
+            ~no_rules:false ()
         in
         (* probe each source with real submits (scan of its first collection)
            so timeouts, retries and breaker transitions actually happen *)
@@ -346,7 +360,7 @@ let health_cmd =
          "Probe each source with real submits under the configured fault \
           profiles and print the per-source health table (state, outcomes, \
           retries, circuit breaker).")
-    Term.(const run $ small_arg $ seed_arg $ fault_arg $ probes_arg)
+    Term.(const run $ small_arg $ seed_arg $ fault_arg $ domains_arg $ probes_arg)
 
 (* --- fig12 ----------------------------------------------------------------------- *)
 

@@ -28,6 +28,9 @@ type ctx = {
   registry : Registry.t;
   abort_above : float option;
   evals : int ref;  (* number of formula evaluations performed *)
+  shard : int;
+      (* VM slot-cache shard this pass resolves through; the domain-pool
+         slot number when estimating in parallel, 0 sequentially *)
 }
 
 type ann = {
@@ -64,7 +67,8 @@ and inst = {
          only when the generation moves *)
 }
 
-let make_ctx ?abort_above ?(evals = ref 0) registry = { registry; abort_above; evals }
+let make_ctx ?abort_above ?(evals = ref 0) ?(shard = 0) registry =
+  { registry; abort_above; evals; shard }
 
 (* --- Annotation construction (structure + derived statistics) ----------- *)
 
@@ -477,7 +481,7 @@ and vm_ctx ctx ann (inst : inst) : Vm.ctx =
     inst.vmpass <- Some ctx;
     if Vm.slot_count slots = 0 then Vm.empty_bank
     else
-      Vm.slot_cache slots
+      Vm.slot_cache slots ~shard:ctx.shard
         ~generation:(Registry.generation ctx.registry)
         ~source:ann.source
   in
@@ -517,9 +521,10 @@ and vm_ctx ctx ann (inst : inst) : Vm.ctx =
    variables computed at the root. [source] sets the rule-lookup context of
    the root (default: the mediator; pass a wrapper name to estimate a subplan
    as the wrapper executes it). *)
-let estimate ?abort_above ?evals ?memo ?(require_vars = Ast.all_cost_vars)
+let estimate ?abort_above ?evals ?memo ?shard
+    ?(require_vars = Ast.all_cost_vars)
     ?(source = Registry.mediator_source) registry plan =
-  let ctx = make_ctx ?abort_above ?evals registry in
+  let ctx = make_ctx ?abort_above ?evals ?shard registry in
   let ann = build ?memo registry ~source plan in
   List.iter (fun v -> ignore (require ctx ann v)) require_vars;
   ann

@@ -29,6 +29,10 @@ type ctx = {
   registry : Registry.t;
   abort_above : float option;
   evals : int ref;  (** number of formula evaluations performed *)
+  shard : int;
+      (** VM slot-cache shard this pass resolves through
+          ({!Disco_costlang.Vm.slot_cache}); the domain-pool slot when
+          estimating in parallel, [0] on the sequential path *)
 }
 
 type ann = {
@@ -63,7 +67,8 @@ and inst = {
           banks *)
 }
 
-val make_ctx : ?abort_above:float -> ?evals:int ref -> Registry.t -> ctx
+val make_ctx :
+  ?abort_above:float -> ?evals:int ref -> ?shard:int -> Registry.t -> ctx
 
 type memo
 (** A per-optimization memo of annotated subtrees, keyed on the rule-context
@@ -96,6 +101,7 @@ val estimate :
   ?abort_above:float ->
   ?evals:int ref ->
   ?memo:memo ->
+  ?shard:int ->
   ?require_vars:Ast.cost_var list ->
   ?source:string ->
   Registry.t ->
@@ -104,7 +110,10 @@ val estimate :
 (** Annotate and compute the [require_vars] (default: all five) at the root.
     [source] defaults to the mediator; pass a wrapper name to estimate a
     subplan as the wrapper executes it. [memo] shares subtree annotations
-    across calls (see {!memo}). *)
+    across calls (see {!memo}). [shard] (default [0]) selects the VM
+    slot-cache shard; parallel estimation passes its pool slot so shared
+    rule slot tables are never written from two domains. A [memo] must not
+    be shared across shards — give each domain its own. *)
 
 val var : ann -> Ast.cost_var -> float option
 (** A computed variable, if it has been demanded. *)

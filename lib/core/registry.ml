@@ -46,6 +46,13 @@ type t = {
      adjustment, ADT export). Caches of estimation results are valid only
      while the generation they were computed under is still current. *)
   mutable generation : int;
+  (* guards the query-time lazily-filled tables ([merged], per-source
+     [let_cache], on-demand [sources] entries) so concurrent estimation
+     domains cannot corrupt a Hashtbl mid-resize. Held only across the
+     table operations themselves, never across formula evaluation —
+     [lookup_let] computes outside the lock (a duplicated computation is
+     harmless: let values are deterministic within a generation). *)
+  lock : Mutex.t;
 }
 
 let create ?(backend = Bytecode) catalog =
@@ -57,24 +64,30 @@ let create ?(backend = Bytecode) catalog =
     adt_sels = Hashtbl.create 8;
     next_id = 0;
     next_order = 0;
-    generation = 0 }
+    generation = 0;
+    lock = Mutex.create () }
 
 let entry t source =
-  match Hashtbl.find_opt t.sources source with
-  | Some e -> e
-  | None ->
-    let e =
-      { lets = []; let_cache = Hashtbl.create 8; defs = []; rules = []; adjust = 1. }
-    in
-    Hashtbl.add t.sources source e;
-    e
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.sources source with
+      | Some e -> e
+      | None ->
+        let e =
+          { lets = [];
+            let_cache = Hashtbl.create 8;
+            defs = [];
+            rules = [];
+            adjust = 1. }
+        in
+        Hashtbl.add t.sources source e;
+        e)
 
 let bump t = t.generation <- t.generation + 1
 
 let generation t = t.generation
 
 let invalidate t =
-  Hashtbl.reset t.merged;
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.merged);
   bump t
 
 (* --- Statistics resolution helpers (shared with the estimator) ---------- *)
@@ -140,14 +153,17 @@ let rec let_ctx t ~source : Compile.ctx =
 
 and lookup_let t ~source name : Value.t option =
   let e = entry t source in
-  match Hashtbl.find_opt e.let_cache name with
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt e.let_cache name) with
   | Some v -> Some v
   | None ->
     (match List.assoc_opt name e.lets with
      | None -> None
      | Some compiled ->
+       (* computed outside the lock: let bodies may reference other lets
+          (re-entering this function), and a racing duplicate computation
+          yields the same value within a generation *)
        let v = compiled (let_ctx t ~source) in
-       Hashtbl.replace e.let_cache name v;
+       Mutex.protect t.lock (fun () -> Hashtbl.replace e.let_cache name v);
        Some v)
 
 and lookup_def t ~source name : Compile.def option =
@@ -433,21 +449,26 @@ let register_text ?scope_override t ~what text =
 (* --- Lookup -------------------------------------------------------------- *)
 
 let rules_for t ~source ~operator : Rule.t list =
-  match Hashtbl.find_opt t.merged (source, operator) with
-  | Some rs -> rs
-  | None ->
-    let of_source s =
-      match Hashtbl.find_opt t.sources s with
-      | None -> []
-      | Some e -> List.filter (fun r -> String.equal (Rule.operator r) operator) e.rules
-    in
-    let all =
-      if String.equal source default_source then of_source source
-      else of_source source @ of_source default_source
-    in
-    let sorted = List.sort (fun a b -> Rule.compare_level b a) all in
-    Hashtbl.replace t.merged (source, operator) sorted;
-    sorted
+  (* the whole merge runs under the lock: it touches only [t.sources] and
+     pure rule metadata, so holding it is cheap and keeps the lazily-filled
+     [merged] table consistent across estimation domains *)
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.merged (source, operator) with
+      | Some rs -> rs
+      | None ->
+        let of_source s =
+          match Hashtbl.find_opt t.sources s with
+          | None -> []
+          | Some e ->
+            List.filter (fun r -> String.equal (Rule.operator r) operator) e.rules
+        in
+        let all =
+          if String.equal source default_source then of_source source
+          else of_source source @ of_source default_source
+        in
+        let sorted = List.sort (fun a b -> Rule.compare_level b a) all in
+        Hashtbl.replace t.merged (source, operator) sorted;
+        sorted)
 
 (* All rules matching [node], most specific first, with their bindings.
    Literal collection names in heads also match sub-interfaces (interface

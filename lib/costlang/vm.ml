@@ -79,7 +79,10 @@ type program = {
   vdepth : int;                (* value stack capacity *)
   ntmps : int;                 (* CSE temporary bank size *)
   scratch : scratch;
-  mutable busy : bool;         (* scratch in use by an in-flight evaluation *)
+  busy : bool Atomic.t;        (* scratch claimed by an in-flight evaluation;
+                                  CAS-acquired so concurrent domains fall
+                                  back to a fresh allocation instead of
+                                  sharing the stacks *)
 }
 
 let op_npush = 0
@@ -159,7 +162,7 @@ let make_program code ~fdepth ~vdepth ~ntmps : program =
       { f = Array.make fdepth 0.;
         v = Array.make (max 1 vdepth) zero;
         t = Array.make ntmps 0. };
-    busy = false }
+    busy = Atomic.make false }
 
 (* --- Slot tables ---------------------------------------------------------- *)
 
@@ -195,6 +198,20 @@ let clear_bank (b : bank) =
     Bytes.fill b.bstate 0 (Bytes.length b.bstate) '\000'
   end
 
+(* One shard of the per-source resolution cache. A shard is owned by one
+   domain (the pool slot number), so its fields need no synchronization:
+   banks it creates are only ever filled and read by that domain. *)
+type shard_line = {
+  mutable sgen : int;  (* generation of the cached entries; min_int = none *)
+  mutable scache : (string * bank) list;  (* per source *)
+}
+
+let max_shards = 64
+(* matching the domain-pool clamp; shard 0 is the sequential path *)
+
+let new_shards () =
+  Array.init max_shards (fun _ -> { sgen = min_int; scache = [] })
+
 type slots = {
   spaths : string list array;
   dpaths : string list array;
@@ -205,12 +222,11 @@ type slots = {
       (* paths whose first segment names a body target or cost variable:
          their resolution can change as body assignments complete, so they
          are never memoized within the instance *)
-  mutable sgen : int;  (* generation of the cached entries; min_int = none *)
-  mutable scache : (string * bank) list;  (* per source *)
+  shards : shard_line array;
 }
 
 let empty_slots () =
-  { spaths = [||]; dpaths = [||]; dvolatile = [||]; sgen = min_int; scache = [] }
+  { spaths = [||]; dpaths = [||]; dvolatile = [||]; shards = new_shards () }
 
 let slot_count (s : slots) = Array.length s.spaths
 
@@ -220,18 +236,19 @@ let dyn_path (s : slots) i = s.dpaths.(i)
 
 let dyn_volatile (s : slots) i = s.dvolatile.(i)
 
-(* Fetch (or create) the cache column for [source], dropping every cached
-   value when the model generation moved. *)
-let slot_cache (s : slots) ~generation ~source : bank =
-  if s.sgen <> generation then begin
-    s.scache <- [];
-    s.sgen <- generation
+(* Fetch (or create) the cache column for [source] in the given shard,
+   dropping that shard's cached values when the model generation moved. *)
+let slot_cache ?(shard = 0) (s : slots) ~generation ~source : bank =
+  let line = s.shards.(shard) in
+  if line.sgen <> generation then begin
+    line.scache <- [];
+    line.sgen <- generation
   end;
-  match List.assoc_opt source s.scache with
+  match List.assoc_opt source line.scache with
   | Some bank -> bank
   | None ->
     let bank = new_bank (Array.length s.spaths) in
-    s.scache <- (source, bank) :: s.scache;
+    line.scache <- (source, bank) :: line.scache;
     bank
 
 let slot_path (s : slots) i = s.spaths.(i)
@@ -278,8 +295,7 @@ let finish (b : builder) : slots =
   { spaths = Array.of_list (List.rev b.rev_paths);
     dpaths = Array.map fst dyn;
     dvolatile = Array.map snd dyn;
-    sgen = min_int;
-    scache = [] }
+    shards = new_shards () }
 
 (* Count how often each CSE-able subterm occurs in numeric context. Only
    numeric-context occurrences share a (float) temporary: the same subterm
@@ -476,17 +492,15 @@ let dyn_value (c : ctx) (i : int) : Value.t =
 let dyn_num_slow (c : ctx) (i : int) : float = Value.to_num (dyn_value c i)
 
 let acquire (p : program) : scratch =
-  if p.busy then
-    (* re-entrant evaluation of this very program; rare *)
+  if Atomic.compare_and_set p.busy false true then p.scratch
+  else
+    (* re-entrant or concurrent evaluation of this very program; rare *)
     { f = Array.make (Array.length p.scratch.f) 0.;
       v = Array.make (Array.length p.scratch.v) zero;
       t = Array.make (Array.length p.scratch.t) 0. }
-  else begin
-    p.busy <- true;
-    p.scratch
-  end
 
-let release (p : program) (s : scratch) = if s == p.scratch then p.busy <- false
+let release (p : program) (s : scratch) =
+  if s == p.scratch then Atomic.set p.busy false
 
 (* Pop [argc] values off [vstack] into a list, preserving argument order. *)
 let rec collect_args (vstack : Value.t array) base i acc =

@@ -47,7 +47,7 @@ type program = private {
   vdepth : int;
   ntmps : int;
   scratch : scratch;
-  mutable busy : bool;
+  busy : bool Atomic.t;
 }
 
 (** {1 Slot tables}
@@ -79,13 +79,14 @@ val new_bank : int -> bank
 val clear_bank : bank -> unit
 (** Reset every entry to unresolved (for reusing a memo across passes). *)
 
-type slots = {
-  spaths : string list array;
-  dpaths : string list array;
-  dvolatile : bool array;
-  mutable sgen : int;
-  mutable scache : (string * bank) list;
-}
+type slots
+(** The cache is sharded: shard [i] belongs to domain-pool slot [i]
+    (shard 0 is the sequential path), so each shard's columns are filled
+    and read by a single domain and need no locking. Generation stamping
+    is per shard. *)
+
+val max_shards : int
+(** Number of shards per table (64, matching the domain-pool clamp). *)
 
 val empty_slots : unit -> slots
 (** A fresh table with no slots (closure-backend rules, constant rules). *)
@@ -104,10 +105,11 @@ val dyn_volatile : slots -> int -> bool
     Such paths may resolve differently as body assignments complete, so they
     are excluded from the per-instance dynamic-reference memo. *)
 
-val slot_cache : slots -> generation:int -> source:string -> bank
-(** The cache column for [source], dropping all cached values first if the
-    stamp differs from [generation]. Entries are unresolved until the
-    [resolve] callback fills them on first touch. *)
+val slot_cache : ?shard:int -> slots -> generation:int -> source:string -> bank
+(** The cache column for [source] in shard [shard] (default [0]), dropping
+    the shard's cached values first if its stamp differs from [generation].
+    Entries are unresolved until the [resolve] callback fills them on first
+    touch. *)
 
 (** {1 Compilation} *)
 

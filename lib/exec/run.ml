@@ -116,6 +116,10 @@ let nlog2n n = float_of_int n *. (log (Float.max (float_of_int n) 2.) /. log 2.)
 let rec run (env : env) (p : Physical.t) : result =
   let e = env.engine in
   match p with
+  (* Gather point of the mediator's scatter-gather: wrapper subresults land
+     here pre-executed (possibly concurrently, in their own envs), so the
+     composition below never touches a wrapper and [env] stays
+     single-domain. *)
   | Physical.Pmaterialized { rows; first; total } -> { rows; first; total }
   | Physical.Pscan { table; binding; access; residual } ->
     let attrs = qualified_attrs table binding in

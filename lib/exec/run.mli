@@ -58,7 +58,17 @@ val reason_to_string : failure_reason -> string
 val pp_submit_failure : Format.formatter -> submit_failure -> unit
 
 val run : env -> Physical.t -> result
-(** Execute a physical plan, producing rows and simulated times. *)
+(** Execute a physical plan, producing rows and simulated times.
+
+    Concurrency contract: [run] mutates [env.buffer] (the buffer pool's
+    replacement state), so a given [env] must be driven from one domain at
+    a time and two evaluations over the same [env] are order-dependent.
+    This is why the mediator's scatter-gather path parallelizes {e
+    upstream} of [run]: wrapper subplans execute concurrently in their own
+    wrappers (each with its own [env]) during translation to {!Physical.t},
+    arrive here as {!Physical.Pmaterialized} leaves — rows plus the
+    simulated times already charged — and the mediator-side composition
+    that [run] performs stays single-domain and deterministic. *)
 
 val measure : env -> Physical.t -> Tuple.t list * vector
 (** {!run} followed by {!vector_of_result}. *)

@@ -38,12 +38,22 @@ type entry = {
   mutable last_error : string option;
 }
 
-type t = { policy : policy; entries : (string, entry) Hashtbl.t }
+type t = {
+  policy : policy;
+  entries : (string, entry) Hashtbl.t;
+  (* guards the table and every per-source entry: scatter-gather execution
+     reads availability and reports outcomes from several domains; each
+     operation is a short read-modify-write, so one lock suffices and keeps
+     the counters and breaker transitions exact *)
+  lock : Mutex.t;
+}
 
-let create ?(policy = default_policy) () = { policy; entries = Hashtbl.create 8 }
+let create ?(policy = default_policy) () =
+  { policy; entries = Hashtbl.create 8; lock = Mutex.create () }
 
 let policy t = t.policy
 
+(* caller holds [t.lock] *)
 let entry t source =
   match Hashtbl.find_opt t.entries source with
   | Some e -> e
@@ -60,45 +70,53 @@ let entry t source =
     Hashtbl.add t.entries source e;
     e
 
-let state t source = (entry t source).state
+let state t source = Mutex.protect t.lock (fun () -> (entry t source).state)
 
 let available t ~now source =
-  let e = entry t source in
-  match e.state with
-  | Closed | Half_open -> true
-  | Open { until } when now >= until ->
-    (* cooldown elapsed: admit one probe; its outcome settles the circuit *)
-    e.state <- Half_open;
-    e.probes <- e.probes + 1;
-    true
-  | Open _ -> false
+  Mutex.protect t.lock (fun () ->
+      let e = entry t source in
+      match e.state with
+      | Closed | Half_open -> true
+      | Open { until } when now >= until ->
+        (* cooldown elapsed: admit one probe; its outcome settles the
+           circuit *)
+        e.state <- Half_open;
+        e.probes <- e.probes + 1;
+        true
+      | Open _ -> false)
 
 let retry_at t source =
-  match (entry t source).state with Open { until } -> until | Closed | Half_open -> 0.
+  Mutex.protect t.lock (fun () ->
+      match (entry t source).state with
+      | Open { until } -> until
+      | Closed | Half_open -> 0.)
 
 let on_success t source =
-  let e = entry t source in
-  e.successes <- e.successes + 1;
-  e.consecutive_failures <- 0;
-  e.state <- Closed
+  Mutex.protect t.lock (fun () ->
+      let e = entry t source in
+      e.successes <- e.successes + 1;
+      e.consecutive_failures <- 0;
+      e.state <- Closed)
 
 let on_failure t ~now source ~reason =
-  let e = entry t source in
-  e.failures <- e.failures + 1;
-  e.consecutive_failures <- e.consecutive_failures + 1;
-  e.last_error <- Some reason;
-  let open_until = now +. t.policy.breaker_cooldown_ms in
-  (match e.state with
-   | Half_open ->
-     (* the probe failed: straight back to open *)
-     e.state <- Open { until = open_until }
-   | Closed when e.consecutive_failures >= t.policy.breaker_threshold ->
-     e.state <- Open { until = open_until }
-   | Closed | Open _ -> ())
+  Mutex.protect t.lock (fun () ->
+      let e = entry t source in
+      e.failures <- e.failures + 1;
+      e.consecutive_failures <- e.consecutive_failures + 1;
+      e.last_error <- Some reason;
+      let open_until = now +. t.policy.breaker_cooldown_ms in
+      match e.state with
+      | Half_open ->
+        (* the probe failed: straight back to open *)
+        e.state <- Open { until = open_until }
+      | Closed when e.consecutive_failures >= t.policy.breaker_threshold ->
+        e.state <- Open { until = open_until }
+      | Closed | Open _ -> ())
 
 let note_retry t source =
-  let e = entry t source in
-  e.retries <- e.retries + 1
+  Mutex.protect t.lock (fun () ->
+      let e = entry t source in
+      e.retries <- e.retries + 1)
 
 type row = {
   source : string;
@@ -112,6 +130,7 @@ type row = {
 }
 
 let report t =
+  Mutex.protect t.lock @@ fun () ->
   Hashtbl.fold
     (fun source e acc ->
       { source;

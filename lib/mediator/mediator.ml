@@ -35,10 +35,20 @@ type t = {
   lint : [ `Error | `Warn | `Off ];
   mutable last_lint : Disco_analysis.Analyzer.finding list;
   mutable wrappers : (string * Wrapper.t) list;
+  (* degree of the domain pool used for plan search and scatter-gather
+     submit execution; 1 = fully sequential. Parallelism is value-preserving
+     (see Optimizer and [to_physical]), so this is a throughput knob, never
+     a semantics knob. *)
+  domains : int;
 }
 
+module Pool = Disco_parallel.Pool
+
 let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
-    ?policy ?(lint = `Warn) () =
+    ?policy ?(lint = `Warn) ?domains () =
+  let domains =
+    match domains with Some d -> max 1 (min d Pool.max_domains) | None -> Pool.env_domains ()
+  in
   let catalog = Catalog.create () in
   let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
@@ -51,7 +61,8 @@ let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
     cache_enabled = cache;
     lint;
     last_lint = [];
-    wrappers = [] }
+    wrappers = [];
+    domains }
 
 let registry t = t.registry
 let catalog t = t.catalog
@@ -64,6 +75,7 @@ let cache_enabled t = t.cache_enabled
 let set_cache_enabled t on = t.cache_enabled <- on
 let lint_mode t = t.lint
 let last_lint t = t.last_lint
+let domains t = t.domains
 
 let active_cache t = if t.cache_enabled then Some t.plancache else None
 
@@ -371,7 +383,7 @@ let plan_of_variant ?objective t (r : resolved) : Plan.t =
         (Optimizer.optimize ?objective ~memo:t.cache_enabled
            ?cache:(active_cache t)
            ~available:(fun s -> Health.available t.health ~now:t.now s)
-           t.registry r.spec)
+           ~domains:t.domains t.registry r.spec)
   in
   decorate r joined
 
@@ -471,12 +483,31 @@ let history_estimate t ~source sub =
 
    Time wasted on faulty attempts ([inflate]) is charged to the result and
    to the measured TotalTime fed into history: under [History.Adjust] a
-   flaky source's estimates inflate, steering the optimizer away from it. *)
-let submit_subplan t src sub : Physical.t =
+   flaky source's estimates inflate, steering the optimizer away from it.
+
+   [prefetched] holds scatter-phase wrapper results, one FIFO queue per
+   source filled in the same per-source order this sequential gather
+   consumes them, so popping the head always yields this very submit's
+   result. Only wrapper execution is ever prefetched — every piece of
+   mediator accounting (history feedback, communication charge, clock
+   advance, health) happens here, on the gathering domain, in plan order. *)
+type prefetched =
+  (string, (Tuple.t list * Run.vector, exn) result Queue.t) Hashtbl.t
+
+let submit_subplan ?prefetched t src sub : Physical.t =
   let w = find_wrapper t src in
   let net = w.Wrapper.network in
+  let execute () =
+    match prefetched with
+    | Some (tbl : prefetched) ->
+      (match Hashtbl.find_opt tbl src with
+       | Some q when not (Queue.is_empty q) ->
+         (match Queue.pop q with Ok r -> r | Error e -> raise e)
+       | _ -> Wrapper.execute w sub)
+    | None -> Wrapper.execute w sub
+  in
   let complete ~inflate =
-    let rows, vec = Wrapper.execute w sub in
+    let rows, vec = execute () in
     let estimated_total = history_estimate t ~source:src sub in
     let measured =
       if inflate = 0. then Run.to_cost_vars vec
@@ -536,19 +567,103 @@ let submit_subplan t src sub : Physical.t =
 (* Execute the mediator-side plan: submits run in their wrappers under the
    submit policy (communication charged per the wrapper's network, history
    fed back, faults retried); composition operators run in the mediator
-   engine. *)
-let rec to_physical t (plan : Plan.t) : Physical.t =
+   engine. Binary nodes pin the translation order explicitly — right child
+   first, matching what OCaml's right-to-left argument evaluation always
+   did here — because the scatter phase must enqueue wrapper results in
+   exactly the order this gather consumes them. *)
+let rec translate ?prefetched t (plan : Plan.t) : Physical.t =
   match plan with
-  | Plan.Submit (src, sub) -> submit_subplan t src sub
+  | Plan.Submit (src, sub) -> submit_subplan ?prefetched t src sub
   | Plan.Scan _ ->
     raise (Err.Plan_error "bare scan at the mediator (missing submit)")
-  | Plan.Select (c, p) -> Physical.Pfilter (to_physical t c, p)
-  | Plan.Project (c, attrs) -> Physical.Pproject (to_physical t c, attrs)
-  | Plan.Sort (c, keys) -> Physical.Psort (to_physical t c, keys)
-  | Plan.Join (l, r, p) -> Physical.Pnested_join (to_physical t l, to_physical t r, p)
-  | Plan.Union (l, r) -> Physical.Punion (to_physical t l, to_physical t r)
-  | Plan.Dedup c -> Physical.Pdedup (to_physical t c)
-  | Plan.Aggregate (c, a) -> Physical.Paggregate (to_physical t c, a)
+  | Plan.Select (c, p) -> Physical.Pfilter (translate ?prefetched t c, p)
+  | Plan.Project (c, attrs) -> Physical.Pproject (translate ?prefetched t c, attrs)
+  | Plan.Sort (c, keys) -> Physical.Psort (translate ?prefetched t c, keys)
+  | Plan.Join (l, r, p) ->
+    let pr = translate ?prefetched t r in
+    let pl = translate ?prefetched t l in
+    Physical.Pnested_join (pl, pr, p)
+  | Plan.Union (l, r) ->
+    let ur = translate ?prefetched t r in
+    let ul = translate ?prefetched t l in
+    Physical.Punion (ul, ur)
+  | Plan.Dedup c -> Physical.Pdedup (translate ?prefetched t c)
+  | Plan.Aggregate (c, a) -> Physical.Paggregate (translate ?prefetched t c, a)
+
+(* Submit occurrences in translation order (right child first, like
+   [translate]); the scatter phase partitions them by source. *)
+let rec submit_occurrences (plan : Plan.t) : (string * Plan.t) list =
+  match plan with
+  | Plan.Submit (src, sub) -> [ (src, sub) ]
+  | Plan.Scan _ -> []
+  | Plan.Select (c, _) | Plan.Project (c, _) | Plan.Sort (c, _)
+  | Plan.Dedup c | Plan.Aggregate (c, _) -> submit_occurrences c
+  | Plan.Join (l, r, _) | Plan.Union (l, r) ->
+    submit_occurrences r @ submit_occurrences l
+
+(* Scatter-gather execution. With [domains > 1], independent wrapper work
+   runs concurrently: submits to injector-free sources are grouped per
+   source (wrapper buffers make same-source submits order-dependent, so a
+   group executes its submits in plan order on one domain) and the groups
+   fan out over the pool. The gather then runs the ordinary sequential
+   translation, consuming the prefetched results — so history feedback,
+   communication charges, the simulated clock and health all advance in
+   plan order on the calling domain, and answers, history, clock and
+   breaker state are bit-identical to the sequential path. Sources with a
+   fault injector are left to the gather untouched: their outcomes depend
+   on the clock at submit time, and the retry/backoff/breaker loop must see
+   the clock the sequential path would. A wrapper error inside a group
+   parks as [Error] in the queue and re-raises at the consuming submit's
+   position. *)
+let to_physical t (plan : Plan.t) : Physical.t =
+  if t.domains <= 1 then translate t plan
+  else begin
+    let occs = submit_occurrences plan in
+    (* per-source groups of prefetchable submits, first-occurrence order *)
+    let groups : (string * Plan.t list ref) list ref = ref [] in
+    List.iter
+      (fun (src, sub) ->
+        match List.assoc_opt src t.wrappers with
+        | Some { Wrapper.fault = None; _ } ->
+          (match List.assoc_opt src !groups with
+           | Some subs -> subs := sub :: !subs
+           | None -> groups := !groups @ [ (src, ref [ sub ]) ])
+        | Some _ | None ->
+          (* faulty at gather time; unknown sources error there too *)
+          ())
+      occs;
+    let groups =
+      List.map (fun (src, subs) -> (src, List.rev !subs)) !groups
+    in
+    let prefetched : prefetched = Hashtbl.create 8 in
+    List.iter (fun (src, _) -> Hashtbl.replace prefetched src (Queue.create ())) groups;
+    let garr = Array.of_list groups in
+    let pool = Pool.create t.domains in
+    let results =
+      Pool.run pool
+        (fun i ->
+          let src, subs = garr.(i) in
+          let w = List.assoc src t.wrappers in
+          (* stop at the first error: the submits a sequential run would
+             never have reached must not touch the wrapper's buffer *)
+          let rec go acc = function
+            | [] -> List.rev acc
+            | sub :: rest ->
+              (match Wrapper.execute w sub with
+               | r -> go (Ok r :: acc) rest
+               | exception e -> List.rev (Error e :: acc))
+          in
+          go [] subs)
+        (Array.length garr)
+    in
+    Array.iteri
+      (fun i rs ->
+        let src, _ = garr.(i) in
+        let q = Hashtbl.find prefetched src in
+        List.iter (fun r -> Queue.push r q) rs)
+      results;
+    translate ~prefetched t plan
+  end
 
 type answer = {
   rows : Tuple.t list;

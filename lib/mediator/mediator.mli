@@ -19,7 +19,7 @@ type t
 val create :
   ?backend:Registry.backend -> ?calibration:Generic.calibration ->
   ?history_mode:History.mode -> ?cache:bool -> ?policy:Health.policy ->
-  ?lint:[ `Error | `Warn | `Off ] -> unit -> t
+  ?lint:[ `Error | `Warn | `Off ] -> ?domains:int -> unit -> t
 (** A fresh mediator with its generic cost model installed. [backend]
     selects the formula backend (bytecode by default; [Registry.Closure] is
     the differential reference). [cache] (default on) enables the
@@ -31,7 +31,16 @@ val create :
     ({!Disco_analysis.Analyzer}): [`Error] rejects (and rolls back) an
     export whose lint has error-severity findings, [`Warn] (the default)
     logs findings and keeps them inspectable via {!last_lint}, [`Off]
-    skips the analyzer. *)
+    skips the analyzer. [domains] sets the degree of the domain pool used
+    for parallel plan search and scatter-gather submit execution (clamped
+    to [1 .. Disco_parallel.Pool.max_domains]; default: the
+    [DISCO_DOMAINS] environment variable, else 1). Parallelism is
+    value-preserving: answers, chosen plans and costs, history, the
+    simulated clock and breaker state are bit-identical at any domain
+    count. *)
+
+val domains : t -> int
+(** The domain-pool degree this mediator optimizes and executes with. *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t
@@ -132,7 +141,11 @@ val to_physical : t -> Plan.t -> Disco_exec.Physical.t
 (** Execute all [submit] subtrees in their wrappers (charging communication
     per the wrapper's network and feeding history) and translate the
     remaining composition operators; the result runs under
-    {!mediator_env}. *)
+    {!mediator_env}. With {!domains} above 1, submits to injector-free
+    sources scatter across the domain pool (grouped per source — wrapper
+    buffers make same-source submits order-dependent) while all mediator
+    accounting gathers sequentially in plan order, so results are
+    bit-identical to the sequential path. *)
 
 type answer = {
   rows : Tuple.t list;

@@ -211,6 +211,16 @@ type stats = {
 
 let new_stats () = { plans_considered = 0; plans_aborted = 0; formula_evals = 0 }
 
+(* Counters are never shared across domains: each parallel slot fills its
+   own [stats] (a [cost_of] call mutates exactly the record it was handed)
+   and the partials are merged once, at the fork/join barrier, in slot
+   order. One merge per partial — never double- or under-counted; the
+   regression test in test/test_parallel.ml pins exact values. *)
+let merge_stats ~into (s : stats) =
+  into.plans_considered <- into.plans_considered + s.plans_considered;
+  into.plans_aborted <- into.plans_aborted + s.plans_aborted;
+  into.formula_evals <- into.formula_evals + s.formula_evals
+
 (* What the optimizer minimizes: the time to the complete answer, or the
    time to the first object (the paper's TimeFirst — interactive clients).
    Pipelined strategies (index joins) tend to win the latter; blocking ones
@@ -231,7 +241,7 @@ let objective_var = function
    have aborted — callers compare against the best so far either way, so the
    selected plan is identical; only the abort counter differs. Aborted
    estimates are never cached. *)
-let cost_of ?bound ?(objective = Total_time) ?memo ?cache registry
+let cost_of ?bound ?(objective = Total_time) ?memo ?cache ?shard registry
     (stats : stats) (plan : Plan.t) : float option =
   stats.plans_considered <- stats.plans_considered + 1;
   let var = objective_var objective in
@@ -248,7 +258,7 @@ let cost_of ?bound ?(objective = Total_time) ?memo ?cache registry
     let result =
       try
         let ann =
-          Estimator.estimate ?abort_above:bound ~evals ?memo
+          Estimator.estimate ?abort_above:bound ~evals ?memo ?shard
             ~require_vars:[ var ] registry plan
         in
         Some (Option.get (Estimator.var ann var))
@@ -262,21 +272,74 @@ let cost_of ?bound ?(objective = Total_time) ?memo ?cache registry
      | _ -> ());
     result
 
+module Pool = Disco_parallel.Pool
+
 (* Pick the cheapest plan from an explicit list, optionally with
-   branch-and-bound pruning. *)
-let choose ?(prune = true) ?(objective = Total_time) ?memo ?cache registry
-    ?stats (plans : Plan.t list) : (Plan.t * float) option =
-  let stats = match stats with Some s -> s | None -> new_stats () in
-  List.fold_left
-    (fun best plan ->
-      let bound = if prune then Option.map snd best else None in
-      match cost_of ?bound ~objective ?memo ?cache registry stats plan with
-      | None -> best
-      | Some cost ->
-        (match best with
-         | Some (_, c) when c <= cost -> best
-         | _ -> Some (plan, cost)))
-    None plans
+   branch-and-bound pruning. With [domains > 1] the list is split into
+   contiguous chunks costed concurrently — each slot with its own memo,
+   stats and prune bound, shard-isolated in the VM — and the chunk winners
+   are reduced in chunk order under the same [c <= cost] keep-the-earlier
+   tie-break the sequential fold applies, so the chosen plan and cost are
+   bit-identical at any domain count. (With pruning on, [plans_aborted] may
+   differ across domain counts: chunk-local bounds abort differently. The
+   winner cannot change — an aborted plan's cost exceeds its chunk bound,
+   which some already-kept plan achieved.) *)
+let choose ?(prune = true) ?(objective = Total_time) ?memo ?cache
+    ?(domains = 1) registry ?stats (plans : Plan.t list) :
+    (Plan.t * float) option =
+  let caller_stats = stats in
+  let best_of ?memo ~shard stats plans =
+    List.fold_left
+      (fun best plan ->
+        let bound = if prune then Option.map snd best else None in
+        match
+          cost_of ?bound ~objective ?memo ?cache ~shard registry stats plan
+        with
+        | None -> best
+        | Some cost ->
+          (match best with
+           | Some (_, c) when c <= cost -> best
+           | _ -> Some (plan, cost)))
+      None plans
+  in
+  let pool = Pool.create domains in
+  let finish stats result =
+    (match caller_stats with
+     | Some into when into != stats -> merge_stats ~into stats
+     | _ -> ());
+    result
+  in
+  if Pool.degree pool <= 1 then
+    let stats = match caller_stats with Some s -> s | None -> new_stats () in
+    best_of ?memo ~shard:0 stats plans
+  else begin
+    let chunks = Pool.chunk (Pool.degree pool) plans in
+    let nchunks = Array.length chunks in
+    let memos =
+      Array.init nchunks (fun i ->
+          if i = 0 then memo
+          else Option.map (fun _ -> Estimator.new_memo ()) memo)
+    in
+    let slot_stats = Array.init nchunks (fun _ -> new_stats ()) in
+    let results =
+      Pool.run pool
+        (fun slot ->
+          best_of ?memo:memos.(slot) ~shard:slot slot_stats.(slot)
+            chunks.(slot))
+        nchunks
+    in
+    for s = 1 to nchunks - 1 do
+      merge_stats ~into:slot_stats.(0) slot_stats.(s)
+    done;
+    finish slot_stats.(0)
+      (Array.fold_left
+         (fun best r ->
+           match best, r with
+           | Some (_, c), Some (_, c') when c <= c' -> best
+           | _, Some pc -> Some pc
+           | _, None -> best)
+         None results)
+  end
 
 (* --- Dynamic programming ------------------------------------------------------ *)
 
@@ -295,22 +358,44 @@ end
    thousands of times. [cache] is the cross-query cache; both only change
    what is recomputed, never the costs, so the chosen plan is identical with
    and without them (see test/test_plancache.ml). *)
+(* Parallel structure: within one subset size every subset is independent —
+   its splits read only strictly-smaller keys, and all its candidates land
+   on its own key — so each size is a fork/join round: subsets are chunked
+   contiguously across domains, every slot accumulates its subsets' entry
+   lists locally (shard-isolated cost evaluation: own memo, own stats, own
+   VM slot-cache shard), and the main domain installs the lists into the
+   shared table at the barrier, in enumeration order. Costs are
+   value-deterministic whatever slot computes them, so every comparison —
+   the per-site [old_cost <= c_cost] keep-the-incumbent rule and the final
+   [b <= cst] fold — resolves identically at any domain count, and the
+   chosen plan, its cost, the DP table and [plans_considered] are
+   bit-identical to the sequential run. Only [formula_evals] is
+   configuration-dependent (per-slot memos change what is recomputed, never
+   any value), exactly as PR 1's cache caveat. *)
 let optimize ?(objective = Total_time) ?(memo = true) ?cache
-    ?(available = fun _ -> true) registry (spec : spec) : Plan.t * float =
+    ?(available = fun _ -> true) ?(domains = 1) ?stats registry (spec : spec)
+    : Plan.t * float =
   if spec.bases = [] then raise (Err.Plan_error "query has no relations");
-  let stats = new_stats () in
-  let memo = if memo then Some (Estimator.new_memo ()) else None in
+  let caller_stats = stats in
+  let pool = Pool.create domains in
+  let p = Pool.degree pool in
+  let memos =
+    Array.init p (fun _ -> if memo then Some (Estimator.new_memo ()) else None)
+  in
+  let slot_stats = Array.init p (fun _ -> new_stats ()) in
   let adj = adjacency_of spec in
-  let cost plan =
-    match cost_of ~objective ?memo ?cache registry stats plan with
+  let cost ~slot plan =
+    match
+      cost_of ~objective ?memo:memos.(slot) ?cache ~shard:slot registry
+        slot_stats.(slot) plan
+    with
     | Some c -> c
     | None -> infinity
   in
   let table : (Key.t, (candidate * float) list) Hashtbl.t = Hashtbl.create 64 in
-  let put (c : candidate) =
-    let key = Key.of_aliases c.aliases in
-    let existing = Option.value ~default:[] (Hashtbl.find_opt table key) in
-    (* keep at most one candidate per site *)
+  (* keep at most one candidate per site; [existing] is threaded, not read
+     back from the table, so slots can accumulate without touching it *)
+  let put_entry ~slot existing (c : candidate) =
     let same_site ((x : candidate), _) =
       match x.site, c.site with
       | At_mediator, At_mediator -> true
@@ -319,12 +404,10 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache
     in
     match List.find_opt same_site existing with
     | Some ((_, old_cost) as entry) ->
-      let c_cost = cost c.plan in
-      if old_cost <= c_cost then ()
-      else
-        Hashtbl.replace table key
-          ((c, c_cost) :: List.filter (fun e -> e != entry) existing)
-    | None -> Hashtbl.replace table key ((c, cost c.plan) :: existing)
+      let c_cost = cost ~slot c.plan in
+      if old_cost <= c_cost then existing
+      else (c, c_cost) :: List.filter (fun e -> e != entry) existing
+    | None -> (c, cost ~slot c.plan) :: existing
   in
   (* singletons; a base whose source is unavailable (open circuit) is not
      seeded, so no plan ever touches it — with replicated collections the DP
@@ -339,8 +422,13 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache
             aliases = Aliases.singleton b.ref_.Plan.binding;
             residual = base_residual b }
         in
-        put c;
-        put (wrap c)
+        let key = Key.of_aliases c.aliases in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt table key)
+        in
+        let existing = put_entry ~slot:0 existing c in
+        let existing = put_entry ~slot:0 existing (wrap c) in
+        Hashtbl.replace table key existing
       end)
     spec.bases;
   (* grow subsets by size *)
@@ -359,31 +447,58 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache
     go 0 [] 0;
     !out
   in
-  for size = 2 to n do
+  (* one subset's entry list, built against the (read-only) smaller sizes *)
+  let process_subset ~slot subset =
+    let entries = ref [] in
     List.iter
-      (fun subset ->
-        let subset_set = Aliases.of_list subset in
-        (* all splits into two non-empty disjoint halves *)
-        List.iter
-          (fun (left, right) ->
-            let lkey = Key.of_aliases (Aliases.of_list left)
-            and rkey = Key.of_aliases (Aliases.of_list right) in
-            match Hashtbl.find_opt table lkey, Hashtbl.find_opt table rkey with
-            | Some ls, Some rs ->
+      (fun (left, right) ->
+        let lkey = Key.of_aliases (Aliases.of_list left)
+        and rkey = Key.of_aliases (Aliases.of_list right) in
+        match Hashtbl.find_opt table lkey, Hashtbl.find_opt table rkey with
+        | Some ls, Some rs ->
+          List.iter
+            (fun (l, _) ->
               List.iter
-                (fun (l, _) ->
+                (fun (r, _) ->
                   List.iter
-                    (fun (r, _) -> List.iter put (combine spec adj l r))
-                    rs)
-                ls
-            | _ -> ())
-          (splits subset);
-        ignore subset_set)
-      (subsets_of_size size)
+                    (fun c -> entries := put_entry ~slot !entries c)
+                    (combine spec adj l r))
+                rs)
+            ls
+        | _ -> ())
+      (splits subset);
+    (Key.of_aliases (Aliases.of_list subset), !entries)
+  in
+  for size = 2 to n do
+    let chunks = Pool.chunk p (subsets_of_size size) in
+    let results =
+      Pool.run pool
+        (fun slot -> List.map (process_subset ~slot) chunks.(slot))
+        (Array.length chunks)
+    in
+    (* install at the barrier, in enumeration order; a subset with no
+       connecting joins stays absent, as the sequential path leaves it *)
+    Array.iter
+      (fun keyed ->
+        List.iter
+          (fun (key, entries) ->
+            if entries <> [] then Hashtbl.replace table key entries)
+          keyed)
+      results
   done;
+  let finish result =
+    for s = 1 to p - 1 do
+      merge_stats ~into:slot_stats.(0) slot_stats.(s)
+    done;
+    (match caller_stats with
+     | Some into -> merge_stats ~into slot_stats.(0)
+     | None -> ());
+    result
+  in
   let full = Key.of_aliases (Aliases.of_list aliases) in
   match Hashtbl.find_opt table full with
   | None | Some [] ->
+    ignore (finish ());
     raise
       (Err.Plan_error
          "no complete plan found (disconnected join graph without cross \
@@ -396,11 +511,11 @@ let optimize ?(objective = Total_time) ?(memo = true) ?cache
            (* wrapping is the identity on mediator-side candidates, whose
               stored cost is still exact; wrapper-side candidates change
               plan (submit + residual) and are costed once here *)
-           let cst = if w == c then stored else cost w.plan in
+           let cst = if w == c then stored else cost ~slot:0 w.plan in
            match best with
            | Some (_, b) when b <= cst -> best
            | _ -> Some (w.plan, cst))
          None cands
      with
-     | Some result -> result
+     | Some result -> finish result
      | None -> assert false)

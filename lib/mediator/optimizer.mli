@@ -56,6 +56,12 @@ type stats = {
 
 val new_stats : unit -> stats
 
+val merge_stats : into:stats -> stats -> unit
+(** Add a partial's counters into [into]. Parallel selection gives every
+    domain slot its own [stats] and merges the partials exactly once, in
+    slot order, at the fork/join barrier — counters are never mutated from
+    two domains. *)
+
 (** What the optimizer minimizes: the time to the complete answer (default),
     or the time to the first object (the paper's TimeFirst — interactive
     clients). Pipelined strategies tend to win the latter; blocking ones
@@ -64,24 +70,36 @@ type objective = Total_time | First_tuple
 
 val cost_of :
   ?bound:float -> ?objective:objective -> ?memo:Estimator.memo ->
-  ?cache:Plancache.t -> Registry.t -> stats -> Plan.t -> float option
+  ?cache:Plancache.t -> ?shard:int -> Registry.t -> stats -> Plan.t ->
+  float option
 (** Estimated cost of a complete plan under the objective; [bound] enables
     the early-abort heuristic of §4.3.2 (TotalTime only) and [None] reports
     an abort. [memo] shares subtree annotations with earlier estimates of
     the same optimizer run; [cache] consults and feeds the cross-query
     {!Plancache}. Neither changes computed costs — only what is recomputed.
-    Aborted estimates are never cached. *)
+    Aborted estimates are never cached. Counters land in exactly the
+    [stats] record passed here — parallel callers hand each domain its own
+    and merge with {!merge_stats}. [shard] is the VM slot-cache shard
+    (see {!Disco_core.Estimator.estimate}); a [memo] must stay within one
+    shard. *)
 
 val choose :
   ?prune:bool -> ?objective:objective -> ?memo:Estimator.memo ->
-  ?cache:Plancache.t -> Registry.t -> ?stats:stats ->
+  ?cache:Plancache.t -> ?domains:int -> Registry.t -> ?stats:stats ->
   Plan.t list -> (Plan.t * float) option
 (** Cheapest plan of an explicit list, with branch-and-bound pruning against
-    the best cost so far (default on). *)
+    the best cost so far (default on). [domains] (default 1) costs
+    contiguous chunks of the list concurrently; the chunk winners reduce
+    under the sequential keep-the-earlier tie-break, so the chosen plan and
+    cost are bit-identical at any domain count ([memo] then serves chunk 0;
+    the other chunks get fresh memos). With pruning, [plans_aborted] may
+    differ across domain counts — bounds are chunk-local — but the winner
+    cannot. *)
 
 val optimize :
   ?objective:objective -> ?memo:bool -> ?cache:Plancache.t ->
-  ?available:(string -> bool) -> Registry.t -> spec -> Plan.t * float
+  ?available:(string -> bool) -> ?domains:int -> ?stats:stats ->
+  Registry.t -> spec -> Plan.t * float
 (** Dynamic programming over alias subsets, keeping the best candidate per
     site (one per source for unwrapped subplans, one mediator-side). [memo]
     (default on) shares subtree annotations across the run, so the DP never
@@ -90,5 +108,15 @@ val optimize :
     plan and cost are identical with and without them. [available] (default:
     everything) excludes sources — e.g. those with an open circuit breaker —
     from plan seeding, so no generated plan touches them.
+
+    [domains] (default 1) distributes each subset size across a domain pool
+    (subsets of one size are mutually independent); every slot costs with
+    its own estimator memo, stats and VM shard, and the per-subset results
+    are installed at the size barrier in enumeration order. The chosen plan,
+    its cost, the DP table and the merged [plans_considered] /
+    [plans_aborted] are bit-identical at any domain count; [formula_evals]
+    depends on the memo configuration (per-slot memos change what is
+    recomputed, never a value). [stats] receives the merged counters of the
+    run.
     @raise Disco_common.Err.Plan_error on an empty or disconnected query, or
     when exclusions leave some relation without a source. *)

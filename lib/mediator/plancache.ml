@@ -45,6 +45,12 @@ type t = {
   order : ((Disco_costlang.Ast.cost_var * Plan.t) * int) Queue.t;
   counters : counters;
   mutable tick : int;  (* stamp generator *)
+  (* one lock over table + queue + counters + tick: every operation is a
+     short critical section (hash probe, queue pop, counter bump — no
+     estimation work), and a single lock keeps the counters exact under
+     concurrent access — hits + misses always equals lookups, an eviction
+     is counted exactly once *)
+  lock : Mutex.t;
 }
 
 let create ?(capacity = 4096) () =
@@ -52,57 +58,64 @@ let create ?(capacity = 4096) () =
     table = Tbl.create 256;
     order = Queue.create ();
     counters = { hits = 0; misses = 0; stale = 0; evictions = 0 };
-    tick = 0 }
+    tick = 0;
+    lock = Mutex.create () }
 
 let counters t = t.counters
 
-let size t = Tbl.length t.table
+let size t = Mutex.protect t.lock (fun () -> Tbl.length t.table)
 
 let clear t =
-  Tbl.reset t.table;
-  Queue.clear t.order;
-  t.counters.hits <- 0;
-  t.counters.misses <- 0;
-  t.counters.stale <- 0;
-  t.counters.evictions <- 0
+  Mutex.protect t.lock (fun () ->
+      Tbl.reset t.table;
+      Queue.clear t.order;
+      t.counters.hits <- 0;
+      t.counters.misses <- 0;
+      t.counters.stale <- 0;
+      t.counters.evictions <- 0)
 
 let find t registry ~objective plan =
   let key = (objective, plan) in
-  match Tbl.find_opt t.table key with
-  | Some e when e.generation = Registry.generation registry ->
-    t.counters.hits <- t.counters.hits + 1;
-    Some e.cost
-  | Some _ ->
-    Tbl.remove t.table key;
-    t.counters.stale <- t.counters.stale + 1;
-    t.counters.misses <- t.counters.misses + 1;
-    None
-  | None ->
-    t.counters.misses <- t.counters.misses + 1;
-    None
+  Mutex.protect t.lock (fun () ->
+      match Tbl.find_opt t.table key with
+      | Some e when e.generation = Registry.generation registry ->
+        t.counters.hits <- t.counters.hits + 1;
+        Some e.cost
+      | Some _ ->
+        Tbl.remove t.table key;
+        t.counters.stale <- t.counters.stale + 1;
+        t.counters.misses <- t.counters.misses + 1;
+        None
+      | None ->
+        t.counters.misses <- t.counters.misses + 1;
+        None)
 
 let add t registry ~objective plan cost =
   let key = (objective, plan) in
-  match Tbl.find_opt t.table key with
-  | Some e ->
-    (* refresh in place, keeping the entry's queue slot (no duplicate push) *)
-    Tbl.replace t.table key { e with cost; generation = Registry.generation registry }
-  | None ->
-    (* the order queue may hold dead occurrences — keys dropped as stale in
-       [find], or superseded by a re-add under a newer stamp; pop until a
-       live occurrence is evicted *)
-    while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
-      let victim, stamp = Queue.pop t.order in
-      match Tbl.find_opt t.table victim with
-      | Some e when e.stamp = stamp ->
-        Tbl.remove t.table victim;
-        t.counters.evictions <- t.counters.evictions + 1
-      | _ -> ()
-    done;
-    t.tick <- t.tick + 1;
-    Queue.push (key, t.tick) t.order;
-    Tbl.replace t.table key
-      { cost; generation = Registry.generation registry; stamp = t.tick }
+  Mutex.protect t.lock (fun () ->
+      match Tbl.find_opt t.table key with
+      | Some e ->
+        (* refresh in place, keeping the entry's queue slot (no duplicate
+           push) *)
+        Tbl.replace t.table key
+          { e with cost; generation = Registry.generation registry }
+      | None ->
+        (* the order queue may hold dead occurrences — keys dropped as stale
+           in [find], or superseded by a re-add under a newer stamp; pop
+           until a live occurrence is evicted *)
+        while Tbl.length t.table >= t.capacity && not (Queue.is_empty t.order) do
+          match Queue.pop t.order with
+          | victim, stamp ->
+            (match Tbl.find_opt t.table victim with
+             | Some e when e.stamp = stamp ->
+               Tbl.remove t.table victim;
+               t.counters.evictions <- t.counters.evictions + 1
+             | _ -> ())
+        done;
+        t.tick <- t.tick + 1;
+        Queue.push (key, t.tick) t.order;
+        Tbl.replace t.table key
+          { cost; generation = Registry.generation registry; stamp = t.tick })
 
 let pp_counters ppf t =
   Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d"

@@ -235,6 +235,89 @@ let prop_cache_model =
         ops;
       !ok)
 
+(* --- Concurrency ----------------------------------------------------------------- *)
+
+(* Multi-domain hammer: the parallel plan search and scatter-gather paths hit
+   one shared cache from every pool slot, so its single lock must keep the
+   counters exact, the capacity bound tight and the generation stamp
+   authoritative under contention. Four domains interleave find/add churn
+   over a key space three times the capacity, in two waves with a cost-model
+   write between them. Costs are generation-stamped by construction (each
+   add stores the generation it ran under), so a lookup that ever returned a
+   pre-bump cost after the bump — a stale entry served past invalidation —
+   is detected exactly. *)
+let test_multi_domain_hammer () =
+  let registry = fresh_registry () in
+  let capacity = 8 in
+  let cache = Plancache.create ~capacity () in
+  let n_domains = 4 and rounds = 500 and keys = 24 in
+  let finds = Array.make n_domains 0 in
+  let hits = Array.make n_domains 0 in
+  let stale_served = Array.make n_domains 0 in
+  let worker gen slot () =
+    for i = 1 to rounds do
+      let key = ((slot * 7) + i) mod keys in
+      (match
+         Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan key)
+       with
+       | Some cost ->
+         hits.(slot) <- hits.(slot) + 1;
+         if bits cost <> bits (float_of_int gen) then
+           stale_served.(slot) <- stale_served.(slot) + 1
+       | None -> ());
+      finds.(slot) <- finds.(slot) + 1;
+      Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan key)
+        (float_of_int gen);
+      if Plancache.size cache > capacity then stale_served.(slot) <- 1000
+    done
+  in
+  let wave () =
+    let gen = Registry.generation registry in
+    let spawned =
+      List.init (n_domains - 1) (fun s -> Domain.spawn (worker gen (s + 1)))
+    in
+    worker gen 0 ();
+    List.iter Domain.join spawned
+  in
+  wave ();
+  (* every resident entry is now stale; wave two must never see a wave-one
+     cost *)
+  Registry.register_adt registry ~name:"hammer" ~cost_ms:1. ~selectivity:0.5;
+  wave ();
+  let total a = Array.fold_left ( + ) 0 a in
+  Alcotest.(check int) "no stale entry served, capacity never exceeded" 0
+    (total stale_served);
+  let c = Plancache.counters cache in
+  Alcotest.(check int) "hits + misses account for every lookup, exactly"
+    (total finds)
+    (c.Plancache.hits + c.Plancache.misses);
+  Alcotest.(check int) "every hit accounted" (total hits) c.Plancache.hits;
+  Alcotest.(check bool) "contention exercised hits" true (c.Plancache.hits > 0);
+  Alcotest.(check bool) "capacity churn evicted (none lost: bound held above)"
+    true
+    (c.Plancache.evictions > 0);
+  Alcotest.(check int) "cache full after sustained churn" capacity
+    (Plancache.size cache);
+  (* deterministic coda: whatever the interleavings above did, a stale entry
+     surviving to a lookup is dropped and counted, never served. (The waves
+     may evict every pre-bump resident through capacity churn before a find
+     reaches it, so the stale counter is only pinned here.) *)
+  let stale0 = c.Plancache.stale in
+  Registry.register_adt registry ~name:"hammer2" ~cost_ms:1. ~selectivity:0.5;
+  let resident =
+    List.find
+      (fun k ->
+        Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan k)
+        <> None
+        ||
+        (Plancache.counters cache).Plancache.stale > stale0)
+      (List.init keys Fun.id)
+  in
+  ignore resident;
+  Alcotest.(check int) "post-bump lookup dropped the stale entry, exactly once"
+    (stale0 + 1)
+    (Plancache.counters cache).Plancache.stale
+
 let test_objectives_are_distinct_keys () =
   let registry = fresh_registry () in
   let cache = Plancache.create () in
@@ -409,6 +492,7 @@ let () =
       ( "mechanics",
         [ Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
           Alcotest.test_case "churn re-add" `Quick test_churn_readd_survives;
+          Alcotest.test_case "multi-domain hammer" `Quick test_multi_domain_hammer;
           QCheck_alcotest.to_alcotest prop_cache_model;
           Alcotest.test_case "objective keys" `Quick test_objectives_are_distinct_keys ] );
       ( "invalidation",
