@@ -56,7 +56,7 @@ let () =
       match name with
       | "fig12" -> Fig12.print ?config:fig12_config ()
       | "t1" -> Accuracy.print ()
-      | "t2" -> Planquality.print ()
+      | "t2" -> Planquality.print ?json_path ~smoke:small ()
       | "t3" -> Overhead.print ()
       | "t4" -> History_bench.print ()
       | "t5" -> Prune.print ()

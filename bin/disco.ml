@@ -45,6 +45,15 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let stats_arg =
+  let doc =
+    "Enable feedback-driven statistics: harvest wrapper samples into \
+     equi-depth histograms at registration and fold observed cardinalities \
+     back into per-predicate selectivity corrections (off by default; the \
+     off path is bit-identical to builds without the subsystem)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let fault_arg =
   let doc =
     "Install fault-injection profiles, e.g. \
@@ -69,16 +78,20 @@ let objective_of = function
   | "first" -> Optimizer.First_tuple
   | other -> Fmt.failwith "unknown objective %S (total|first)" other
 
-let make_mediator ?(no_cache = false) ?fault ?domains ~small ~seed ~history
-    ~no_rules () =
+let make_mediator ?(no_cache = false) ?(stats = false) ?fault ?domains ~small
+    ~seed ~history ~no_rules () =
   let sizes = if small then Demo.small_sizes else Demo.default_sizes in
   let wrappers = Demo.make ~seed ~sizes () in
   let wrappers =
     if no_rules then List.map Wrapper.without_rules wrappers else wrappers
   in
+  let stats_mode =
+    if stats then Mediator.Stats_feedback History.default_feedback
+    else Mediator.Stats_off
+  in
   let med =
     Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache)
-      ?domains ()
+      ?domains ~stats_mode ()
   in
   List.iter (Mediator.register med) wrappers;
   (match fault with
@@ -105,10 +118,10 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault domains objective sql =
+  let run small seed history no_rules no_cache stats fault domains objective sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
         in
         let a = Mediator.run_query ~objective:(objective_of objective) med sql in
@@ -131,7 +144,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ domains_arg $ objective_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ objective_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -139,10 +152,10 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault domains sql =
+  let run small seed history no_rules no_cache stats fault domains sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
         in
         print_string (Mediator.explain med sql))
@@ -154,7 +167,7 @@ let explain_cmd =
           the rule that produced each one.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ domains_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -162,10 +175,10 @@ let analyze_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache fault domains sql =
+  let run small seed history no_rules no_cache stats fault domains sql =
     handle (fun () ->
         let med, _ =
-          make_mediator ~no_cache ?fault ?domains ~small ~seed ~history
+          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
         in
         print_string (Mediator.analyze med sql))
@@ -175,7 +188,7 @@ let analyze_cmd =
        ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ fault_arg $ domains_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ sql)
 
 (* --- registration ----------------------------------------------------------------- *)
 

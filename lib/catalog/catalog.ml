@@ -113,6 +113,23 @@ let attribute_stats t ~source ~collection attr =
     if Schema.has_attribute e.schema attr then Stats.default_attribute
     else raise (Err.Unknown_attribute { collection; attribute = attr })
 
+(* Install (or replace) a histogram on one attribute, leaving the wrapper's
+   exported statistics untouched. Used by the mediator's statistics harvest
+   at registration and by feedback-driven recalibration. *)
+let set_histogram t ~source ~collection ~attr hist =
+  let e = find_collection t ~source collection in
+  let st =
+    match List.assoc_opt attr e.attributes with
+    | Some st -> st
+    | None ->
+      if Schema.has_attribute e.schema attr then Stats.default_attribute
+      else raise (Err.Unknown_attribute { collection; attribute = attr })
+  in
+  let st = { st with Stats.histogram = hist } in
+  let e = { e with attributes = (attr, st) :: List.remove_assoc attr e.attributes } in
+  let s = find_source t source in
+  s.collections <- (collection, e) :: List.remove_assoc collection s.collections
+
 let pp ppf t =
   List.iter
     (fun (src, s) ->

@@ -72,4 +72,11 @@ val attribute_stats : t -> source:string -> collection:string -> string -> Stats
     schema but exported no statistics.
     @raise Disco_common.Err.Unknown_attribute when not in the schema. *)
 
+val set_histogram :
+  t -> source:string -> collection:string -> attr:string -> Histogram.t option -> unit
+(** Install (or clear, with [None]) a histogram on one attribute without
+    touching the wrapper's exported statistics. Used by the mediator's
+    statistics harvest at registration and by feedback-driven recalibration.
+    @raise Disco_common.Err.Unknown_attribute when not in the schema. *)
+
 val pp : Format.formatter -> t -> unit

@@ -15,13 +15,16 @@ type attribute = {
   count_distinct : int;    (** CountDistinct: distinct values in the extent *)
   min : Constant.t;        (** Min: smallest value *)
   max : Constant.t;        (** Max: largest value *)
+  histogram : Histogram.t option;
+      (** Value distribution, when the wrapper exported samples or the
+          feedback loop rebuilt one; [None] keeps the uniform assumption. *)
 }
 
 val extent : count_objects:int -> total_size:int -> object_size:int -> extent
 
 val attribute :
-  ?indexed:bool -> count_distinct:int -> min:Constant.t -> max:Constant.t -> unit ->
-  attribute
+  ?indexed:bool -> ?histogram:Histogram.t -> count_distinct:int ->
+  min:Constant.t -> max:Constant.t -> unit -> attribute
 
 val default_extent : extent
 (** Standard values used when a wrapper exports nothing (paper §6). *)

@@ -17,13 +17,18 @@ type attr_stat = {
   distinct : float;
   min : Constant.t;
   max : Constant.t;
+  hist : Histogram.t option;
 }
 
 (* Qualified attribute name -> statistics. *)
 type t = (string * attr_stat) list
 
 let default_stat =
-  { indexed = false; distinct = 10.; min = Constant.Null; max = Constant.Null }
+  { indexed = false;
+    distinct = 10.;
+    min = Constant.Null;
+    max = Constant.Null;
+    hist = None }
 
 let find (t : t) qname = List.assoc_opt qname t
 
@@ -45,7 +50,8 @@ let of_catalog_attr (st : Stats.attribute) =
   { indexed = st.Stats.indexed;
     distinct = float_of_int (max st.Stats.count_distinct 1);
     min = st.Stats.min;
-    max = st.Stats.max }
+    max = st.Stats.max;
+    hist = st.Stats.histogram }
 
 let clear_indexed (t : t) =
   List.map (fun (n, s) -> (n, { s with indexed = false })) t
@@ -54,18 +60,20 @@ let clear_indexed (t : t) =
 let narrow_cmp (t : t) attr (op : Pred.cmp) v =
   let update s =
     match op with
-    | Pred.Eq -> { s with distinct = 1.; min = v; max = v }
+    | Pred.Eq -> { s with distinct = 1.; min = v; max = v; hist = None }
     | Pred.Ne -> { s with distinct = Float.max 1. (s.distinct -. 1.) }
     | Pred.Lt | Pred.Le ->
       let frac =
         Option.value ~default:0.5 (Constant.fraction ~min:s.min ~max:s.max v)
       in
-      { s with distinct = Float.max 1. (s.distinct *. frac); max = v }
+      let hist = Option.bind s.hist (fun h -> Histogram.narrow_le h v) in
+      { s with distinct = Float.max 1. (s.distinct *. frac); max = v; hist }
     | Pred.Gt | Pred.Ge ->
       let frac =
         Option.value ~default:0.5 (Constant.fraction ~min:s.min ~max:s.max v)
       in
-      { s with distinct = Float.max 1. (s.distinct *. (1. -. frac)); min = v }
+      let hist = Option.bind s.hist (fun h -> Histogram.narrow_ge h v) in
+      { s with distinct = Float.max 1. (s.distinct *. (1. -. frac)); min = v; hist }
   in
   List.map (fun (n, s) -> if String.equal n attr then (n, update s) else (n, s)) t
 

@@ -17,6 +17,9 @@ type attr_stat = {
   distinct : float;
   min : Constant.t;
   max : Constant.t;
+  hist : Histogram.t option;
+      (** value distribution, carried from the catalog through scans and
+          clipped by range predicates; equality pins drop it *)
 }
 
 type t = (string * attr_stat) list

@@ -393,7 +393,12 @@ and context_call ctx ann name (args : Value.t list) : Value.t option =
   let apply_sel fn = Registry.adt_selectivity ctx.registry fn in
   match name, args with
   | "sel", [ Value.Vpred p ] ->
-    Some (Value.Vnum (Selest.of_pred ~apply_sel (stats ()) p))
+    let s = Selest.of_pred ~apply_sel (stats ()) p in
+    (* feedback-driven correction (§4.3): exactly 1.0 when none installed,
+       keeping the no-feedback path bit-identical *)
+    let c = Registry.sel_fix ctx.registry ~source:ann.source (Pred.to_string p) in
+    let s = if c = 1.0 then s else Float.min 1. (Float.max 0. (s *. c)) in
+    Some (Value.Vnum s)
   | "adtcost", [ Value.Vpred p ] ->
     (* total exported per-object cost of the ADT operations in [p];
        operations without an exported cost count as free, which is exactly

@@ -19,6 +19,18 @@ open Disco_algebra
 
 type mode = Off | Exact | Adjust of { smoothing : float }
 
+(* Feedback-driven statistics (§4.3, DESIGN.md §11): estimated vs. measured
+   cardinalities of executed subplans maintain per-predicate selectivity
+   corrections in the registry, and sustained misestimation (drift) bumps the
+   model generation so cached plans are re-costed. *)
+type feedback = {
+  band : float;       (* drift when est/actual leaves [1/band, band] *)
+  consecutive : int;  (* k drifting observations in a row trigger *)
+  smoothing : float;  (* EWMA weight of the newest correction *)
+}
+
+let default_feedback = { band = 2.0; consecutive = 3; smoothing = 0.5 }
+
 type record = {
   plan : Plan.t;
   source : string;
@@ -30,18 +42,101 @@ type t = {
   registry : Registry.t;
   mutable mode : mode;
   mutable records : record list;  (* newest first *)
+  mutable feedback : feedback option;
+  mutable on_drift : (source:string -> unit) option;
+  (* consecutive drifting observations per (source, predicate key); guarded
+     by [lock] — observations arrive sequentially from the gather domain
+     today, but the short-lock discipline keeps the subsystem safe if that
+     ever changes (same pattern as [Registry]/[Health]). *)
+  streaks : (string * string, int) Hashtbl.t;
+  lock : Mutex.t;
 }
 
-let create ?(mode = Off) registry = { registry; mode; records = [] }
+let create ?(mode = Off) registry =
+  { registry;
+    mode;
+    records = [];
+    feedback = None;
+    on_drift = None;
+    streaks = Hashtbl.create 16;
+    lock = Mutex.create () }
 
 let set_mode t mode = t.mode <- mode
 
+let set_feedback t ?on_drift fb =
+  t.feedback <- fb;
+  t.on_drift <- on_drift;
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.streaks)
+
+let feedback t = t.feedback
+
 let records t = List.rev t.records
+
+(* The predicate whose selectivity the observation measures: the outermost
+   selection of the executed subplan. Joins and bare scans carry no single
+   predicate-selectivity signal and do not update corrections or streaks. *)
+let rec select_pred (p : Plan.t) =
+  match p with
+  | Plan.Select (_, pred) -> Some pred
+  | Plan.Project (q, _) | Plan.Sort (q, _) | Plan.Dedup q
+  | Plan.Submit (_, q) | Plan.Aggregate (q, _) ->
+    select_pred q
+  | Plan.Scan _ | Plan.Join _ | Plan.Union _ -> None
+
+(* One estimated-vs-actual cardinality observation. Corrections move by
+   exponential smoothing toward the factor that would have made the estimate
+   exact; drift (ratio outside the band for [consecutive] observations of
+   the same predicate) resets the streak, invalidates the model generation —
+   the single bump republishing all accumulated corrections to cached
+   plans — and hands the source to [on_drift] for histogram recalibration. *)
+let feed_cardinality t ~source ~plan ~actual ~estimated =
+  match t.feedback with
+  | None -> ()
+  | Some fb ->
+    (match select_pred plan with
+     | None -> ()
+     | Some pred ->
+       let key = Pred.to_string pred in
+       let ratio = (estimated +. 1.) /. (actual +. 1.) in
+       let old_fix = Registry.sel_fix t.registry ~source key in
+       let target = old_fix /. ratio in
+       let fix = (fb.smoothing *. target) +. ((1. -. fb.smoothing) *. old_fix) in
+       if Float.is_finite fix && fix > 0. then
+         Registry.set_sel_fix t.registry ~source key fix;
+       let drifting = ratio > fb.band || ratio < 1. /. fb.band in
+       let fire =
+         Mutex.protect t.lock (fun () ->
+             if not drifting then begin
+               Hashtbl.replace t.streaks (source, key) 0;
+               false
+             end
+             else begin
+               let n =
+                 1 + Option.value ~default:0 (Hashtbl.find_opt t.streaks (source, key))
+               in
+               if n >= fb.consecutive then begin
+                 Hashtbl.replace t.streaks (source, key) 0;
+                 true
+               end
+               else begin
+                 Hashtbl.replace t.streaks (source, key) n;
+                 false
+               end
+             end)
+       in
+       if fire then begin
+         Registry.invalidate t.registry;
+         match t.on_drift with None -> () | Some f -> f ~source
+       end)
 
 (* Feed back the measured costs of an executed wrapper subquery. [plan] is
    the subplan that was submitted (without the submit node itself). *)
-let observe t ~source ~(plan : Plan.t) ~measured ~estimated_total =
+let observe ?estimated_count t ~source ~(plan : Plan.t) ~measured ~estimated_total =
   t.records <- { plan; source; measured; estimated_total } :: t.records;
+  (match (estimated_count, List.assoc_opt Ast.Count_object measured) with
+   | Some estimated, Some actual when estimated >= 0. && actual >= 0. ->
+     feed_cardinality t ~source ~plan ~actual ~estimated
+   | _ -> ());
   match t.mode with
   | Off -> ()
   | Exact -> ignore (Registry.add_query_rule t.registry ~source plan measured)
@@ -60,8 +155,10 @@ let observe t ~source ~(plan : Plan.t) ~measured ~estimated_total =
 
 let forget t =
   t.records <- [];
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.streaks);
   List.iter
     (fun source ->
       Registry.remove_query_rules t.registry ~source;
-      Registry.set_adjust t.registry ~source 1.)
+      Registry.set_adjust t.registry ~source 1.;
+      Registry.clear_sel_fixes t.registry ~source)
     (Disco_catalog.Catalog.source_names (Registry.catalog t.registry))

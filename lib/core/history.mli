@@ -15,6 +15,19 @@ open Disco_algebra
       statistical information. *)
 type mode = Off | Exact | Adjust of { smoothing : float }
 
+(** Feedback-driven statistics (§4.3, DESIGN.md §11), orthogonal to [mode]:
+    estimated vs. measured cardinalities maintain per-predicate selectivity
+    corrections ({!Registry.set_sel_fix}), and sustained misestimation bumps
+    the model generation so cached plans are re-costed. *)
+type feedback = {
+  band : float;       (** drift when est/actual leaves [[1/band, band]] *)
+  consecutive : int;  (** drifting observations in a row that trigger *)
+  smoothing : float;  (** EWMA weight of the newest correction *)
+}
+
+val default_feedback : feedback
+(** band 2.0, consecutive 3, smoothing 0.5. *)
+
 type record = {
   plan : Plan.t;       (** the executed wrapper subplan (no submit node) *)
   source : string;
@@ -28,10 +41,19 @@ val create : ?mode:mode -> Registry.t -> t
 
 val set_mode : t -> mode -> unit
 
+val set_feedback : t -> ?on_drift:(source:string -> unit) -> feedback option -> unit
+(** Switch cardinality feedback on ([Some fb]) or off ([None]); resets drift
+    streaks either way. [on_drift] runs after a drift-triggered
+    {!Registry.invalidate}, with the drifting source — the mediator hooks
+    histogram recalibration there. *)
+
+val feedback : t -> feedback option
+
 val records : t -> record list
 (** Oldest first. *)
 
 val observe :
+  ?estimated_count:float ->
   t ->
   source:string ->
   plan:Plan.t ->
@@ -41,7 +63,12 @@ val observe :
 (** Feed back the measured costs of an executed wrapper subquery. In
     [Adjust] mode, [estimated_total] must include the adjustment factor in
     force when the estimate was made (the mediator does this), so the
-    smoothing converges. *)
+    smoothing converges. [estimated_count] is the predicted output
+    cardinality of the subplan; when present (and feedback is on) it is
+    compared with the measured [CountObject] to update the per-predicate
+    selectivity correction of the subplan's outermost selection and its
+    drift streak. *)
 
 val forget : t -> unit
-(** Drop all records, query-scope rules and adjustment factors. *)
+(** Drop all records, query-scope rules, adjustment factors, selectivity
+    corrections and drift streaks. *)

@@ -39,6 +39,15 @@ type t = {
      wrappers as [let AdtCost_<fn> = ...] / [let AdtSel_<fn> = ...] *)
   adt_costs : (string, float) Hashtbl.t;
   adt_sels : (string, float) Hashtbl.t;
+  (* feedback-driven multiplicative selectivity corrections, keyed by
+     (source, printed predicate); maintained by [History] from observed
+     cardinalities (§4.3). Writes do NOT bump the generation — corrections
+     accumulate silently and only a drift-triggered [invalidate] republishes
+     them to cached plans. [sel_fix_active] is a monotone flag letting the
+     estimator skip the lock entirely until the first correction exists, so
+     the feedback-off path costs nothing. *)
+  sel_fixes : (string * string, float) Hashtbl.t;
+  mutable sel_fix_active : bool;
   mutable next_id : int;
   mutable next_order : int;
   (* monotonic stamp of the blended model: bumps on every write that can
@@ -62,6 +71,8 @@ let create ?(backend = Bytecode) catalog =
     merged = Hashtbl.create 64;
     adt_costs = Hashtbl.create 8;
     adt_sels = Hashtbl.create 8;
+    sel_fixes = Hashtbl.create 16;
+    sel_fix_active = false;
     next_id = 0;
     next_order = 0;
     generation = 0;
@@ -89,6 +100,25 @@ let generation t = t.generation
 let invalidate t =
   Mutex.protect t.lock (fun () -> Hashtbl.reset t.merged);
   bump t
+
+(* --- Feedback-driven selectivity corrections (§4.3) ---------------------- *)
+
+let set_sel_fix t ~source key factor =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.sel_fixes (source, key) factor);
+  t.sel_fix_active <- true
+
+let sel_fix t ~source key =
+  if not t.sel_fix_active then 1.
+  else
+    Mutex.protect t.lock (fun () ->
+        Option.value ~default:1. (Hashtbl.find_opt t.sel_fixes (source, key)))
+
+let clear_sel_fixes t ~source =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.iter
+        (fun ((s, _) as k) _ -> if String.equal s source then Hashtbl.remove t.sel_fixes k)
+        (Hashtbl.copy t.sel_fixes))
 
 (* --- Statistics resolution helpers (shared with the estimator) ---------- *)
 

@@ -40,6 +40,14 @@ val generation : t -> int
     factors. A cached estimation result is valid only while the generation it
     was computed under is still current. *)
 
+val invalidate : t -> unit
+(** Drop the merged-rule cache and bump the generation without changing any
+    registered content. The feedback loop uses it when drift detection
+    decides that accumulated statistics corrections must reach cached plans
+    ({!Plancache} entries and VM slot caches validate against the
+    generation). Safe to call concurrently with estimation (short-lock
+    discipline). *)
+
 (** {1 Statistics resolution helpers (shared with the estimator)} *)
 
 val extent_stat : Stats.extent -> string -> float option
@@ -145,3 +153,19 @@ val set_adjust : t -> source:string -> float -> unit
 val adjust : t -> source:string -> float
 (** Per-source multiplicative factor applied by the generic [submit] rule via
     the [adjust(W)] context function; defaults to 1. *)
+
+(** {1 Feedback-driven selectivity corrections (paper §4.3)}
+
+    Multiplicative corrections to estimated predicate selectivities, keyed by
+    (source, printed predicate) and maintained by {!History} from observed
+    cardinalities. Unlike {!set_adjust}, writes deliberately do {e not} bump
+    the generation: corrections accumulate silently while plans keep being
+    served from caches, and only a drift-triggered {!invalidate} republishes
+    them. [sel_fix] is lock-free until the first correction is installed, so
+    the feedback-off path costs nothing. *)
+
+val set_sel_fix : t -> source:string -> string -> float -> unit
+val sel_fix : t -> source:string -> string -> float
+(** The correction for a predicate key; 1 when none is installed. *)
+
+val clear_sel_fixes : t -> source:string -> unit

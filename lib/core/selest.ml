@@ -5,9 +5,14 @@
    restricted attributes"). *)
 
 open Disco_common
+open Disco_catalog
 open Disco_algebra
 
-let clamp x = if x < 0. then 0. else if x > 1. then 1. else x
+(* NaN-safe: a NaN (e.g. an ADT selectivity hook returning 0/0) fails both
+   comparisons and clamps to 0 instead of leaking through and poisoning the
+   conjunction/disjunction arithmetic above it. Bit-identical to the naive
+   clamp on every non-NaN input. *)
+let clamp x = if x >= 1. then 1. else if x >= 0. then x else 0.
 
 (* Classical fallback when statistics are unavailable. *)
 let default_eq = 0.1
@@ -18,6 +23,14 @@ let find_attr (inputs : Derive.t list) name =
     (fun acc stats -> match acc with Some _ -> acc | None -> Derive.find_loose stats name)
     None inputs
 
+let hist_cmp : Pred.cmp -> Histogram.cmp = function
+  | Pred.Eq -> Histogram.Ceq
+  | Pred.Ne -> Histogram.Cne
+  | Pred.Lt -> Histogram.Clt
+  | Pred.Le -> Histogram.Cle
+  | Pred.Gt -> Histogram.Cgt
+  | Pred.Ge -> Histogram.Cge
+
 let of_cmp inputs a (op : Pred.cmp) v =
   match find_attr inputs a with
   | None ->
@@ -26,6 +39,11 @@ let of_cmp inputs a (op : Pred.cmp) v =
      | Pred.Eq -> default_eq
      | Pred.Ne -> 1. -. default_eq
      | Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge -> default_range)
+  | Some { Derive.hist = Some h; _ }
+    when Option.is_some (Histogram.sel_cmp h (hist_cmp op) v) ->
+    (* Histogram CDF replaces the uniform interpolation when the attribute
+       carries one and the constant maps into its key domain. *)
+    Option.get (Histogram.sel_cmp h (hist_cmp op) v)
   | Some s ->
     (match op with
      | Pred.Eq -> 1. /. Float.max s.Derive.distinct 1.
@@ -47,12 +65,25 @@ let of_cmp inputs a (op : Pred.cmp) v =
 let of_attr_cmp inputs a b (op : Pred.cmp) =
   match op with
   | Pred.Eq ->
-    let d name =
-      match find_attr inputs name with
-      | Some s -> Float.max s.Derive.distinct 1.
-      | None -> 10.
+    let stat name = find_attr inputs name in
+    let overlap =
+      (* When both attributes carry histograms of the same kind, the join
+         selectivity comes from their bucket overlap instead of the distinct
+         counts — disjoint domains estimate (near) zero instead of 1/Max. *)
+      match (stat a, stat b) with
+      | Some { Derive.hist = Some ha; _ }, Some { Derive.hist = Some hb; _ } ->
+        Histogram.join_eq ha hb
+      | _ -> None
     in
-    1. /. Float.max (d a) (d b)
+    (match overlap with
+     | Some s -> s
+     | None ->
+       let d name =
+         match stat name with
+         | Some s -> Float.max s.Derive.distinct 1.
+         | None -> 10.
+       in
+       1. /. Float.max (d a) (d b))
   | _ -> default_range
 
 (* Default selectivity of an ADT operation when the wrapper exports none. *)

@@ -12,13 +12,16 @@ val default_range : float
 (** Fallback range selectivity (1/3). *)
 
 val of_cmp : Derive.t list -> string -> Pred.cmp -> Constant.t -> float
-(** Selectivity of [attr op const] against the inputs' statistics: [1 /
-    CountDistinct] for equality, min/max interpolation for ranges. *)
+(** Selectivity of [attr op const] against the inputs' statistics: histogram
+    CDF when the attribute carries one (DESIGN.md §11), otherwise [1 /
+    CountDistinct] for equality and min/max interpolation for ranges. *)
 
 val of_attr_cmp : Derive.t list -> string -> string -> Pred.cmp -> float
-(** Join selectivity: [1 / Max(CountDistinct(A), CountDistinct(B))]. Note:
-    the paper's §2.3 text says 1/Min; we follow the standard System-R 1/Max
-    (see DESIGN.md deviations). *)
+(** Join selectivity: histogram bucket overlap when both attributes carry
+    histograms of the same kind, otherwise [1 /
+    Max(CountDistinct(A), CountDistinct(B))]. Note: the paper's §2.3 text
+    says 1/Min; we follow the standard System-R 1/Max (see DESIGN.md
+    deviations). *)
 
 val default_apply : float
 (** Selectivity assumed for an ADT operation when the wrapper exports none

@@ -40,29 +40,75 @@ type t = {
      (see Optimizer and [to_physical]), so this is a throughput knob, never
      a semantics knob. *)
   domains : int;
+  (* feedback-driven statistics (§4.3, DESIGN.md §11). Off by default: the
+     estimator then never sees a histogram or a selectivity correction and
+     every estimate is bit-identical to a mediator without the subsystem. *)
+  stats_mode : stats_mode;
 }
+
+and stats_mode = Stats_off | Stats_feedback of History.feedback
 
 module Pool = Disco_parallel.Pool
 
+let stats_on t = t.stats_mode <> Stats_off
+
+(* Statistics harvest: turn the wrapper's sample export into equi-depth
+   histograms on every attribute of every collection it registered. The
+   build is deterministic (fixed Rng seed), so repeated harvests of
+   unchanged data produce identical histograms. *)
+let harvest_wrapper t (w : Wrapper.t) =
+  List.iter
+    (fun coll ->
+      let entry =
+        Catalog.find_collection t.catalog ~source:w.Wrapper.name coll
+      in
+      List.iter
+        (fun (a : Schema.attribute) ->
+          let attr = a.Schema.attr_name in
+          let values = Wrapper.sample_values w ~collection:coll ~attr in
+          Catalog.set_histogram t.catalog ~source:w.Wrapper.name ~collection:coll
+            ~attr (Histogram.of_values values))
+        entry.Catalog.schema.Schema.attributes)
+    (Catalog.collections t.catalog ~source:w.Wrapper.name)
+
+(* Drift-triggered recalibration: re-sample the drifting source and rebuild
+   its histograms. Runs on the gather domain (History.observe's caller);
+   catalog writes are plain replacements and estimation re-reads them only
+   after the accompanying generation bump drops cached plans. *)
+let refresh_histograms t ~source =
+  match List.assoc_opt source t.wrappers with
+  | Some w when stats_on t -> harvest_wrapper t w
+  | _ -> ()
+
 let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
-    ?policy ?(lint = `Warn) ?domains () =
+    ?policy ?(lint = `Warn) ?domains ?(stats_mode = Stats_off) () =
   let domains =
     match domains with Some d -> max 1 (min d Pool.max_domains) | None -> Pool.env_domains ()
   in
   let catalog = Catalog.create () in
   let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
-  { catalog;
-    registry;
-    history = History.create ~mode:history_mode registry;
-    plancache = Plancache.create ();
-    health = Health.create ?policy ();
-    now = 0.;
-    cache_enabled = cache;
-    lint;
-    last_lint = [];
-    wrappers = [];
-    domains }
+  let t =
+    { catalog;
+      registry;
+      history = History.create ~mode:history_mode registry;
+      plancache = Plancache.create ();
+      health = Health.create ?policy ();
+      now = 0.;
+      cache_enabled = cache;
+      lint;
+      last_lint = [];
+      wrappers = [];
+      domains;
+      stats_mode }
+  in
+  (match stats_mode with
+   | Stats_off -> ()
+   | Stats_feedback fb ->
+     History.set_feedback t.history
+       ~on_drift:(fun ~source -> refresh_histograms t ~source)
+       (Some fb));
+  t
 
 let registry t = t.registry
 let catalog t = t.catalog
@@ -76,6 +122,7 @@ let set_cache_enabled t on = t.cache_enabled <- on
 let lint_mode t = t.lint
 let last_lint t = t.last_lint
 let domains t = t.domains
+let stats_mode t = t.stats_mode
 
 let active_cache t = if t.cache_enabled then Some t.plancache else None
 
@@ -120,7 +167,8 @@ let register t (w : Wrapper.t) =
               Logs.warn (fun m -> m "lint: %a" A.pp_finding f)
             | A.Info -> Logs.info (fun m -> m "lint: %a" A.pp_finding f))
           findings));
-  t.wrappers <- (w.Wrapper.name, w) :: List.remove_assoc w.Wrapper.name t.wrappers
+  t.wrappers <- (w.Wrapper.name, w) :: List.remove_assoc w.Wrapper.name t.wrappers;
+  if stats_on t then harvest_wrapper t w
 
 let find_wrapper t name =
   match List.assoc_opt name t.wrappers with
@@ -464,11 +512,14 @@ let mediator_run_env t =
 let history_estimate t ~source sub =
   try
     let ann = Estimator.estimate ~source t.registry sub in
-    Estimator.total_time ann *. Registry.adjust t.registry ~source
+    let count =
+      if stats_on t then Some (Estimator.count_object ann) else None
+    in
+    (Estimator.total_time ann *. Registry.adjust t.registry ~source, count)
   with
   | Err.Eval_error _ | Err.Plan_error _ | Err.Unknown_collection _
   | Err.Unknown_attribute _ | Err.Unknown_source _ ->
-    0.
+    (0., None)
 
 (* Submit one subplan to its wrapper under the submit policy.
 
@@ -508,7 +559,7 @@ let submit_subplan ?prefetched t src sub : Physical.t =
   in
   let complete ~inflate =
     let rows, vec = execute () in
-    let estimated_total = history_estimate t ~source:src sub in
+    let estimated_total, estimated_count = history_estimate t ~source:src sub in
     let measured =
       if inflate = 0. then Run.to_cost_vars vec
       else
@@ -517,7 +568,8 @@ let submit_subplan ?prefetched t src sub : Physical.t =
             if v = Disco_costlang.Ast.Total_time then (v, x +. inflate) else (v, x))
           (Run.to_cost_vars vec)
     in
-    History.observe t.history ~source:src ~plan:sub ~measured ~estimated_total;
+    History.observe ?estimated_count t.history ~source:src ~plan:sub ~measured
+      ~estimated_total;
     let comm = net.Costs.msg_ms +. (net.Costs.byte_ms *. vec.Run.size) in
     t.now <- t.now +. vec.Run.total_time +. comm +. inflate;
     Health.on_success t.health src;

@@ -16,10 +16,21 @@ open Disco_sql
 
 type t
 
+(** Feedback-driven statistics (§4.3, DESIGN.md §11). [Stats_off] (the
+    default) keeps every estimate bit-identical to a mediator without the
+    subsystem. [Stats_feedback fb] harvests wrapper sample exports into
+    equi-depth histograms at registration, compares estimated and measured
+    cardinalities of every executed wrapper subplan to maintain
+    per-predicate selectivity corrections, and — on sustained drift per
+    [fb] — bumps the model generation and re-harvests the drifting source's
+    histograms. *)
+type stats_mode = Stats_off | Stats_feedback of History.feedback
+
 val create :
   ?backend:Registry.backend -> ?calibration:Generic.calibration ->
   ?history_mode:History.mode -> ?cache:bool -> ?policy:Health.policy ->
-  ?lint:[ `Error | `Warn | `Off ] -> ?domains:int -> unit -> t
+  ?lint:[ `Error | `Warn | `Off ] -> ?domains:int -> ?stats_mode:stats_mode ->
+  unit -> t
 (** A fresh mediator with its generic cost model installed. [backend]
     selects the formula backend (bytecode by default; [Registry.Closure] is
     the differential reference). [cache] (default on) enables the
@@ -41,6 +52,14 @@ val create :
 
 val domains : t -> int
 (** The domain-pool degree this mediator optimizes and executes with. *)
+
+val stats_mode : t -> stats_mode
+
+val refresh_histograms : t -> source:string -> unit
+(** Re-sample a registered source and rebuild its histograms; a no-op when
+    statistics are off or the source is unknown. Invoked automatically on
+    drift; exposed for administrative refresh (the paper's §2.1 interface
+    for out-of-date statistics). *)
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t

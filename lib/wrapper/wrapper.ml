@@ -56,6 +56,13 @@ let find_table t name =
 
 let table_names t = List.map fst t.tables
 
+(* The wrapper's sample-export method (§4.3): raw column values the mediator
+   turns into histograms at registration or on feedback-driven refresh. A
+   real wrapper would subsample server-side; the mediator's histogram builder
+   subsamples deterministically anyway, so the simulated one just ships the
+   column. *)
+let sample_values t ~collection ~attr = Table.column (find_table t collection) attr
+
 (* --- Registration phase --------------------------------------------------- *)
 
 (* The wrapper's [cardinality] methods (paper §3.2): statistics computed from

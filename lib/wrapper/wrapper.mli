@@ -52,6 +52,11 @@ val find_table : t -> string -> Table.t
 
 val table_names : t -> string list
 
+val sample_values : t -> collection:string -> attr:string -> Disco_common.Constant.t list
+(** The wrapper's sample-export method (§4.3): raw column values the mediator
+    turns into histograms at registration or on feedback-driven refresh.
+    @raise Disco_common.Err.Unknown_collection on an unknown collection. *)
+
 (** {1 Registration phase (paper Fig 1)} *)
 
 val interface_of_table : Table.t -> Ast.interface_decl

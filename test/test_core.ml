@@ -789,6 +789,37 @@ let test_selest_no_stats_fallbacks () =
     (fun op -> Alcotest.(check (float 1e-9)) "range third" (1. /. 3.) (sel op))
     [ Pred.Lt; Pred.Le; Pred.Gt; Pred.Ge ]
 
+(* Regression (the satellite fix this PR pins): a wrapper-exported ADT
+   selectivity of NaN used to leak through the clamp —
+   [Float.max 0. (Float.min 1. nan)] is NaN — poisoning every estimate the
+   predicate participated in. The NaN-safe clamp maps it to 0. *)
+let test_of_pred_nan_clamp () =
+  let nan_sel _ = Some Float.nan in
+  let p = Pred.Apply ("noise", "d.lang", Constant.String "en") in
+  let check_clamped label q =
+    let s = Selest.of_pred ~apply_sel:nan_sel [ [] ] q in
+    Alcotest.(check bool)
+      (Fmt.str "%s: %.3f finite and in [0,1]" label s)
+      true
+      (Float.is_finite s && s >= 0. && s <= 1.)
+  in
+  check_clamped "bare apply" p;
+  check_clamped "conjunction" (Pred.And (p, Pred.True));
+  check_clamped "disjunction" (Pred.Or (p, p));
+  check_clamped "negation" (Pred.Not p)
+
+(* The paper's §2.3 prose gives join selectivity as 1/Min(CountDistinct); we
+   deliberately follow the standard System-R 1/Max (see the DESIGN.md
+   deviations table). Pinned so the divergence stays intentional. *)
+let test_attr_cmp_uses_one_over_max () =
+  let sa = { Derive.default_stat with Derive.distinct = 100. } in
+  let sb = { Derive.default_stat with Derive.distinct = 20. } in
+  let inputs = [ [ ("a.x", sa) ]; [ ("b.y", sb) ] ] in
+  let s = Selest.of_attr_cmp inputs "a.x" "b.y" Pred.Eq in
+  Alcotest.(check (float 1e-12)) "1/Max(100, 20)" (1. /. 100.) s;
+  Alcotest.(check bool) "explicitly not the paper's 1/Min" true
+    (s <> 1. /. 20.)
+
 let prop_selest_bounds =
   QCheck2.Test.make ~name:"sel always in [0,1]" ~count:300
     QCheck2.Gen.(
@@ -825,6 +856,147 @@ let prop_selest_bounds =
       let ann = est ~source:"src" registry scan_emp in
       let s = Selest.of_pred [ Lazy.force ann.Estimator.stats ] p in
       s >= 0. && s <= 1.)
+
+(* --- Feedback-driven statistics (§4.3, DESIGN.md §11) ------------------------- *)
+
+(* Sustained misestimation of one predicate bumps the model generation exactly
+   once per streak of [consecutive] drifting observations; the streak restarts
+   after firing, and an in-band observation resets it. *)
+let test_feedback_drift_bumps_once () =
+  let registry = base_registry () in
+  let history = History.create registry in
+  History.set_feedback history (Some History.default_feedback);
+  let plan = sel_salary 9 in
+  let g0 = Registry.generation registry in
+  let observe ~estimated =
+    History.observe ~estimated_count:estimated history ~source:"src" ~plan
+      ~measured:[ (Ast.Count_object, 5.) ] ~estimated_total:1.
+  in
+  let drifting () = observe ~estimated:1000. in
+  drifting ();
+  drifting ();
+  Alcotest.(check int) "no bump before [consecutive] is reached" g0
+    (Registry.generation registry);
+  drifting ();
+  Alcotest.(check int) "third drifting observation bumps exactly once" (g0 + 1)
+    (Registry.generation registry);
+  drifting ();
+  drifting ();
+  Alcotest.(check int) "streak restarted after firing" (g0 + 1)
+    (Registry.generation registry);
+  observe ~estimated:5.;   (* est = actual: in band *)
+  drifting ();
+  drifting ();
+  Alcotest.(check int) "in-band observation cleared the streak" (g0 + 1)
+    (Registry.generation registry)
+
+(* The closed loop end to end: the selection over Fact is underestimated 10x
+   (perfectly correlated conjuncts — histograms assume independence), so the
+   first pass defers the expensive ADT predicate past an expanding join,
+   where it actually runs on far more rows than the pushed placement would
+   have seen (paper §7's placement decision, made with wrong cardinalities).
+   The measured cardinality feeds the §4.3 correction back; the second pass
+   plans with the corrected estimate, pushes the ADT into the wrapper, and
+   executes measurably cheaper. *)
+module Med = Disco_mediator.Mediator
+module W = Disco_wrapper.Wrapper
+
+let fanout = 20
+
+let correlated_federation () =
+  let open Disco_catalog in
+  let open Disco_storage in
+  let open Disco_exec in
+  let rng = Rng.create ~seed:5 in
+  let fact_schema =
+    Schema.collection "Fact"
+      [ ("id", Schema.Tint); ("dim_id", Schema.Tint); ("v", Schema.Tint);
+        ("w", Schema.Tint); ("u", Schema.Tint) ]
+  in
+  let fact_rows =
+    List.init 2000 (fun i ->
+        let v = Rng.int rng 1000 in
+        (* w = v: the conjunction v < 100 && w < 100 really keeps ~10 %,
+           but under independence it is estimated at ~1 % *)
+        [| Constant.Int (i + 1); Constant.Int (i mod 50); Constant.Int v;
+           Constant.Int v; Constant.Int (Rng.int rng 1000) |])
+  in
+  let dim_schema =
+    Schema.collection "Dim" [ ("k", Schema.Tint); ("pad", Schema.Tint) ]
+  in
+  let dim_rows =
+    (* every key appears [fanout] times: the join expands its input *)
+    List.init (50 * fanout) (fun i ->
+        [| Constant.Int (i mod 50); Constant.Int (Rng.int rng 100) |])
+  in
+  let even =
+    Adt.make ~name:"even" ~cost_ms:50. ~selectivity:0.5 (fun a _ ->
+        match a with Constant.Int x -> x mod 2 = 0 | _ -> false)
+  in
+  let facts =
+    W.create ~name:"facts" ~engine:Costs.relational ~network:Costs.lan
+      ~adts:[ even ]
+      [ Table.create ~name:"Fact" ~schema:fact_schema ~object_size:24 fact_rows ]
+  in
+  let dims =
+    W.create ~name:"dims" ~engine:Costs.relational ~network:Costs.lan
+      [ Table.create ~name:"Dim" ~schema:dim_schema ~object_size:16 dim_rows ]
+  in
+  let med =
+    Med.create ~cache:false
+      ~stats_mode:
+        (Med.Stats_feedback
+           { History.default_feedback with History.smoothing = 1.0 })
+      ()
+  in
+  Med.register med facts;
+  Med.register med dims;
+  med
+
+let rec pred_has_adt = function
+  | Pred.Apply _ -> true
+  | Pred.And (a, b) | Pred.Or (a, b) -> pred_has_adt a || pred_has_adt b
+  | Pred.Not a -> pred_has_adt a
+  | _ -> false
+
+(* Is the ADT predicate evaluated inside a wrapper-submitted subplan? *)
+let adt_pushed plan =
+  Plan.fold
+    (fun acc node ->
+      acc
+      ||
+      match node with
+      | Plan.Submit (_, q) ->
+        Plan.fold
+          (fun a n ->
+            a || match n with Plan.Select (_, p) -> pred_has_adt p | _ -> false)
+          false q
+      | _ -> false)
+    false plan
+
+let test_feedback_second_pass_cheaper () =
+  let med = correlated_federation () in
+  let sql =
+    "select f.id from Fact f, Dim d \
+     where f.dim_id = d.k and f.v < 100 and f.w < 100 and even(f.u, 0)"
+  in
+  let pass () =
+    let a = Med.run_query med sql in
+    ( a.Med.measured.Disco_exec.Run.total_time,
+      a.Med.plan,
+      List.sort compare (List.map Disco_exec.Tuple.key a.Med.rows) )
+  in
+  let time1, plan1, rows1 = pass () in
+  let time2, plan2, rows2 = pass () in
+  Alcotest.(check bool) "first pass defers the ADT past the join" false
+    (adt_pushed plan1);
+  Alcotest.(check bool) "second pass pushes the ADT into the wrapper" true
+    (adt_pushed plan2);
+  Alcotest.(check bool)
+    (Fmt.str "second-pass plan is cheaper (%.0f < %.0f)" time2 time1)
+    true (time2 < time1);
+  Alcotest.(check bool) "both passes return the same answer" true
+    (rows1 = rows2 && rows1 <> [])
 
 let () =
   Alcotest.run "core"
@@ -892,4 +1064,12 @@ let () =
       ( "selectivity",
         [ Alcotest.test_case "estimates" `Quick test_selest;
           Alcotest.test_case "no-stats fallbacks" `Quick test_selest_no_stats_fallbacks;
-          QCheck_alcotest.to_alcotest prop_selest_bounds ] ) ]
+          Alcotest.test_case "NaN-safe clamp" `Quick test_of_pred_nan_clamp;
+          Alcotest.test_case "join uses 1/Max, not the paper's 1/Min" `Quick
+            test_attr_cmp_uses_one_over_max;
+          QCheck_alcotest.to_alcotest prop_selest_bounds ] );
+      ( "feedback",
+        [ Alcotest.test_case "drift bumps generation exactly once" `Quick
+            test_feedback_drift_bumps_once;
+          Alcotest.test_case "second pass plans cheaper" `Quick
+            test_feedback_second_pass_cheaper ] ) ]

@@ -116,6 +116,106 @@ let prop_estimator_joins =
       Float.is_finite (Estimator.count_object ann)
       && Estimator.total_time ann >= 0.)
 
+(* --- Histogram properties (DESIGN.md §11) ------------------------------------- *)
+
+let gen_ints = QCheck2.Gen.(list_size (int_range 1 300) (int_range (-500) 500))
+
+let build ?buckets xs =
+  Option.get
+    (Disco_catalog.Histogram.of_values ?buckets
+       (List.map (fun i -> Constant.Int i) xs))
+
+(* [strict] buckets never touch (fresh builds); merged histograms overlay a
+   boundary grid, so adjacent buckets may share an endpoint. *)
+let bucket_invariants ?(strict = true) (h : Disco_catalog.Histogram.t) =
+  let open Disco_catalog.Histogram in
+  let bs = buckets h in
+  let ascending =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        (if strict then a.hi < b.lo else a.hi <= b.lo) && go rest
+      | _ -> true
+    in
+    go bs
+  in
+  ascending
+  && List.for_all (fun b -> b.lo <= b.hi && b.count > 0. && b.distinct >= 1.) bs
+  && Float.abs (List.fold_left (fun a b -> a +. b.count) 0. bs -. total h) < 1e-6
+
+let prop_equi_depth =
+  QCheck2.Test.make ~name:"equi-depth invariant after build" ~count:300 gen_ints
+    (fun xs ->
+      let distinct = List.sort_uniq compare xs in
+      let h = build ~buckets:8 distinct in
+      let counts =
+        List.map (fun b -> b.Disco_catalog.Histogram.count) (Disco_catalog.Histogram.buckets h)
+      in
+      let mx = List.fold_left Float.max neg_infinity counts in
+      let mn = List.fold_left Float.min infinity counts in
+      (* all-distinct input: equi-depth cuts differ by at most one object *)
+      bucket_invariants h
+      && mx -. mn <= 1.
+      && Disco_catalog.Histogram.total h = float_of_int (List.length distinct))
+
+let prop_merge =
+  QCheck2.Test.make ~name:"merge preserves mass and shape invariants" ~count:200
+    QCheck2.Gen.(pair gen_ints gen_ints)
+    (fun (xs, ys) ->
+      let open Disco_catalog.Histogram in
+      let m = merge (build ~buckets:8 xs) (build ~buckets:8 ys) in
+      bucket_invariants ~strict:false m
+      && Float.abs (total m -. float_of_int (List.length xs + List.length ys)) < 1e-6)
+
+let prop_cdf_monotone =
+  QCheck2.Test.make ~name:"CDF monotone in [0,1]" ~count:300
+    QCheck2.Gen.(triple gen_ints (int_range (-600) 600) (int_range 0 300))
+    (fun (xs, x, d) ->
+      let open Disco_catalog.Histogram in
+      let h = build xs in
+      let sel v = Option.get (sel_cmp h Cle (Constant.Int v)) in
+      let a = sel x and b = sel (x + d) in
+      (* tolerance covers ulp-level rounding in [lt + eq]; a genuine
+         monotonicity break is at least a bucket share (>= 1e-3) *)
+      0. <= a && a <= b +. 1e-9 && b <= 1.)
+
+let prop_extremes =
+  QCheck2.Test.make ~name:"sel(a <= max) = 1 and sel(a < min) = 0" ~count:300
+    gen_ints
+    (fun xs ->
+      let open Disco_catalog.Histogram in
+      let h = build xs in
+      let mn = List.fold_left min max_int xs and mx = List.fold_left max min_int xs in
+      Option.get (sel_cmp h Cle (Constant.Int mx)) = 1.
+      && Option.get (sel_cmp h Clt (Constant.Int mn)) = 0.)
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"build deterministic under a fixed Rng seed" ~count:50
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 1500 4000))
+    (fun (seed0, n) ->
+      (* above the subsample threshold, so the Rng path is exercised *)
+      let xs = List.init n (fun i -> Constant.Int ((i * 37) mod 977)) in
+      let open Disco_catalog.Histogram in
+      let h1 = Option.get (of_values ~seed:seed0 xs) in
+      let h2 = Option.get (of_values ~seed:seed0 xs) in
+      buckets h1 = buckets h2 && total h1 = total h2)
+
+(* [Selest.of_pred] stays within [0,1] when the inputs carry histograms. *)
+let prop_selest_bounds_hist =
+  QCheck2.Test.make ~name:"of_pred in [0,1] with histograms present" ~count:300
+    QCheck2.Gen.(pair gen_ints (gen_pred "x" [ "a"; "b" ]))
+    (fun (xs, p) ->
+      let h = build xs in
+      let stat =
+        { Derive.default_stat with
+          Derive.hist = Some h;
+          min = Constant.Int (List.fold_left min max_int xs);
+          max = Constant.Int (List.fold_left max min_int xs);
+          distinct = float_of_int (List.length (List.sort_uniq compare xs)) }
+      in
+      let inputs = [ [ ("x.a", stat); ("x.b", stat) ] ] in
+      let s = Selest.of_pred inputs p in
+      Float.is_finite s && 0. <= s && s <= 1.)
+
 (* --- End-to-end query fuzz ---------------------------------------------------- *)
 
 let rows_of source name binding =
@@ -259,6 +359,10 @@ let () =
     [ ( "estimator",
         List.map QCheck_alcotest.to_alcotest
           [ prop_estimator_total; prop_estimator_joins ] );
+      ( "histogram",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_equi_depth; prop_merge; prop_cdf_monotone; prop_extremes;
+            prop_deterministic; prop_selest_bounds_hist ] );
       ( "end-to-end",
         List.map QCheck_alcotest.to_alcotest
           [ prop_query_vs_reference; prop_objectives_agree ] ) ]

@@ -86,8 +86,8 @@ let test_reduce () =
 
 (* --- Federation fixture ---------------------------------------------------------- *)
 
-let fed ?(cache = true) ~domains () =
-  let med = Mediator.create ~cache ~domains () in
+let fed ?(cache = true) ?stats_mode ~domains () =
+  let med = Mediator.create ~cache ?stats_mode ~domains () in
   let wrappers = Demo.make ~sizes:Demo.small_sizes () in
   List.iter (Mediator.register med) wrappers;
   (med, wrappers)
@@ -168,8 +168,8 @@ let test_stats_pinned_across_domains () =
    model's generation is bumped by re-registering a wrapper (refreshing its
    statistics) and the pass repeats against the now-stale cache. All four
    observations must be identical across domain counts, bit for bit. *)
-let trace_optimize ~domains =
-  let med, wrappers = fed ~domains () in
+let trace_optimize ?stats_mode ~domains () =
+  let med, wrappers = fed ?stats_mode ~domains () in
   let cache = Mediator.plancache med in
   let registry = Mediator.registry med in
   let pass label =
@@ -193,12 +193,12 @@ let trace_optimize ~domains =
    (c.Plancache.hits, c.Plancache.misses, c.Plancache.stale))
 
 let test_optimize_differential () =
-  let ref_trace, ((hits, _, stale) as ref_counters) = trace_optimize ~domains:1 in
+  let ref_trace, ((hits, _, stale) as ref_counters) = trace_optimize ~domains:1 () in
   Alcotest.(check bool) "warm pass actually hit the cache" true (hits > 0);
   Alcotest.(check bool) "generation bump dropped stale entries" true (stale > 0);
   List.iter
     (fun domains ->
-      let t, counters = trace_optimize ~domains in
+      let t, counters = trace_optimize ~domains () in
       if t <> ref_trace then
         Alcotest.failf "optimize trace diverged at %d domains" domains;
       if counters <> ref_counters then
@@ -255,8 +255,8 @@ let execute_workload =
    simulated clock, which integrates every submit's communication charges in
    order. Two passes, because the first feeds history that the second plans
    with. *)
-let trace_execute ~domains =
-  let med, _ = fed ~domains () in
+let trace_execute ?stats_mode ~domains () =
+  let med, _ = fed ?stats_mode ~domains () in
   let pass () =
     List.concat_map
       (fun sql ->
@@ -275,12 +275,56 @@ let trace_execute ~domains =
   p1 @ p2 @ [ Fmt.str "clock %Lx" (bits (Mediator.now med)) ]
 
 let test_execute_differential () =
-  let reference = trace_execute ~domains:1 in
+  let reference = trace_execute ~domains:1 () in
   List.iter
     (fun domains ->
-      if trace_execute ~domains <> reference then
+      if trace_execute ~domains () <> reference then
         Alcotest.failf "execution trace diverged at %d domains" domains)
     (List.tl domain_counts)
+
+(* --- Differential: stats off is the seed path (demo + OO7) ------------------------ *)
+
+(* A mediator with [Stats_off] passed explicitly must trace bit-identically to
+   one built without the argument (the construction path every pre-existing
+   caller uses), at every domain count — the no-histogram path is the seed
+   behavior, not merely close to it. *)
+let test_stats_off_identical_demo () =
+  let opt_ref = trace_optimize ~domains:1 () in
+  let exec_ref = trace_execute ~domains:1 () in
+  List.iter
+    (fun domains ->
+      if trace_optimize ~stats_mode:Mediator.Stats_off ~domains () <> opt_ref
+      then Alcotest.failf "stats-off optimize trace diverged at %d domains" domains;
+      if trace_execute ~stats_mode:Mediator.Stats_off ~domains () <> exec_ref
+      then Alcotest.failf "stats-off execute trace diverged at %d domains" domains)
+    domain_counts
+
+(* The same contract over the OO7 federation: the full query workload executed
+   through the mediator (submit, measured times, simulated clock), stats off,
+   at 1/2/4/8 domains. *)
+let oo7_config = Disco_oo7.Oo7.small_config
+
+let trace_oo7 ?stats_mode ~domains () =
+  let med = Mediator.create ?stats_mode ~domains () in
+  Mediator.register med (Disco_oo7.Oo7.make_source ~config:oo7_config ());
+  let env = Mediator.mediator_run_env med in
+  List.map
+    (fun (label, plan) ->
+      let phys = Mediator.to_physical med (Plan.Submit ("oo7", plan)) in
+      let rows, v = Run.measure env phys in
+      Fmt.str "%s | %Lx %Lx | %d rows %s" label (bits v.Run.total_time)
+        (bits v.Run.time_first) (List.length rows)
+        (String.concat ";" (List.map Tuple.key rows)))
+    (Disco_oo7.Oo7.queries oo7_config)
+  @ [ Fmt.str "clock %Lx" (bits (Mediator.now med)) ]
+
+let test_stats_off_identical_oo7 () =
+  let reference = trace_oo7 ~domains:1 () in
+  List.iter
+    (fun domains ->
+      if trace_oo7 ~stats_mode:Mediator.Stats_off ~domains () <> reference then
+        Alcotest.failf "OO7 stats-off trace diverged at %d domains" domains)
+    domain_counts
 
 let () =
   Alcotest.run "parallel"
@@ -299,4 +343,8 @@ let () =
             test_optimize_differential;
           Alcotest.test_case "choose" `Quick test_choose_differential;
           Alcotest.test_case "execute (scatter-gather)" `Quick
-            test_execute_differential ] ) ]
+            test_execute_differential;
+          Alcotest.test_case "stats off = seed (demo)" `Quick
+            test_stats_off_identical_demo;
+          Alcotest.test_case "stats off = seed (OO7)" `Quick
+            test_stats_off_identical_oo7 ] ) ]
