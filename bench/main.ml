@@ -23,11 +23,14 @@
               availability vs latency sweep (--json=PATH as above)
      parallel — domain-parallel plan search and scatter-gather execution:
               speedup curve over 1..N domains with bit-identity checks
-              (--json=PATH as above) *)
+              (--json=PATH as above)
+     batch  — vectorized batch executor vs tuple-at-a-time: rows/sec on the
+              scan/filter/hash-join kernels and the OO7 workload end to end;
+              DISCO_OO7_SCALE=large arms the 2x gate (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula"; "faults"; "parallel" ]
+    "formula"; "faults"; "parallel"; "batch" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -68,6 +71,7 @@ let () =
       | "formula" -> Micro.print_formula ~smoke:small ?json_path ()
       | "faults" -> Faults.print ~smoke:small ?json_path ()
       | "parallel" -> Parallel.print ~smoke:small ?json_path ()
+      | "batch" -> Batch_bench.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

@@ -63,6 +63,45 @@ let fault_arg =
   in
   Arg.(value & opt (some string) None & info [ "fault-profile" ] ~docv:"SPEC" ~doc)
 
+let engine_arg =
+  let doc =
+    "Execution engine: $(b,tuple) (tuple-at-a-time) or $(b,batch) \
+     (vectorized columnar batches). Results and simulated costs are \
+     bit-identical; only wall-clock differs. Defaults to $(b,DISCO_ENGINE), \
+     else tuple."
+  in
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let batch_size_arg =
+  let doc =
+    "Rows per columnar batch in the batched engine. Defaults to \
+     $(b,DISCO_BATCH), else 1024."
+  in
+  Arg.(value & opt (some int) None & info [ "batch-size" ] ~docv:"N" ~doc)
+
+(* Resolve --engine/--batch-size into the session-wide default mode. *)
+let set_engine engine batch_size =
+  let bsz =
+    match batch_size with
+    | Some n when n > 0 -> n
+    | Some n -> Fmt.failwith "batch size must be positive, got %d" n
+    | None ->
+      (match Run.default_mode () with
+       | Run.Batched { batch_size } -> batch_size
+       | Run.Tuple_at_a_time -> Run.default_batch_size)
+  in
+  match engine with
+  | Some ("tuple" | "tuple-at-a-time") -> Run.set_default_mode Run.Tuple_at_a_time
+  | Some ("batch" | "batched" | "vector" | "vectorized") ->
+    Run.set_default_mode (Run.Batched { batch_size = bsz })
+  | Some other -> Fmt.failwith "unknown engine %S (tuple|batch)" other
+  | None ->
+    (* keep the env-derived default, but honour an explicit --batch-size *)
+    (match Run.default_mode () with
+     | Run.Batched _ when batch_size <> None ->
+       Run.set_default_mode (Run.Batched { batch_size = bsz })
+     | _ -> ())
+
 let history_mode = function
   | "off" -> History.Off
   | "exact" -> History.Exact
@@ -118,8 +157,10 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache stats fault domains objective sql =
+  let run small seed history no_rules no_cache stats fault domains objective
+      engine batch_size sql =
     handle (fun () ->
+        set_engine engine batch_size;
         let med, _ =
           make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
@@ -144,7 +185,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ objective_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ objective_arg $ engine_arg
+      $ batch_size_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -152,8 +194,10 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache stats fault domains sql =
+  let run small seed history no_rules no_cache stats fault domains engine
+      batch_size sql =
     handle (fun () ->
+        set_engine engine batch_size;
         let med, _ =
           make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
@@ -167,7 +211,7 @@ let explain_cmd =
           the rule that produced each one.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -175,8 +219,10 @@ let analyze_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache stats fault domains sql =
+  let run small seed history no_rules no_cache stats fault domains engine
+      batch_size sql =
     handle (fun () ->
+        set_engine engine batch_size;
         let med, _ =
           make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
             ~no_rules ()
@@ -188,7 +234,7 @@ let analyze_cmd =
        ~doc:"Execute a query and compare estimated vs measured costs per subquery.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg $ sql)
 
 (* --- registration ----------------------------------------------------------------- *)
 
@@ -382,8 +428,9 @@ let fig12_cmd =
     let doc = "Number of AtomicParts (the paper uses 70000)." in
     Arg.(value & opt int 70_000 & info [ "parts" ] ~doc)
   in
-  let run parts =
+  let run parts engine batch_size =
     handle (fun () ->
+        set_engine engine batch_size;
         let config = { Disco_oo7.Oo7.paper_config with Disco_oo7.Oo7.atomic_parts = parts } in
         let source = Disco_oo7.Oo7.make_source ~config ~with_rules:true () in
         let registry_of src =
@@ -418,7 +465,7 @@ let fig12_cmd =
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"Reproduce the paper's Figure 12 index-scan experiment.")
-    Term.(const run $ parts)
+    Term.(const run $ parts $ engine_arg $ batch_size_arg)
 
 let () =
   let info =

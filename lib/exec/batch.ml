@@ -1,0 +1,421 @@
+(* Columnar tuple batches for the vectorized executor. A batch holds a run
+   of rows that share one schema, stored column-wise: int and float columns
+   are unboxed ([int array] / [float array]); everything else — strings,
+   nulls, booleans, mixed columns — falls back to a boxed [Constant.t array].
+   The builder types a column optimistically from its first value and
+   promotes to boxed on the first mismatch, so clean numeric data never
+   boxes while dirty data stays correct.
+
+   Invariants relied on by the batch execution path in {!Run}:
+   - [len > 0] for every batch an operator emits (empty batches are dropped);
+   - [bytes] is the exact sum of [Tuple.byte_size] over the batch's rows
+     (integer arithmetic, so carrying it incrementally is exact);
+   - attribute resolution ([find_col]) matches [Tuple.get]: exact match
+     first, then a unique unqualified-suffix match, else [Err.Eval_error]. *)
+
+open Disco_common
+
+type col =
+  | Ints of int array
+  | Floats of float array
+  | Boxed of Constant.t array
+
+type t = {
+  attrs : string array;
+  cols : col array;
+  len : int;
+  bytes : int;  (* sum of Constant.byte_size over all cells *)
+  sel : int array option;
+      (* selection vector: when [Some s], logical row [i] lives at physical
+         index [s.(i)] of every column (and [len = Array.length s]). A
+         filter emits this instead of gathering fresh columns — the classic
+         vectorized-executor trick that makes a 50%-selective filter cost a
+         selection array rather than a copy of half the data. *)
+}
+
+let length b = b.len
+let attrs b = b.attrs
+let byte_size b = b.bytes
+
+(* Logical-to-physical row translation; the identity for dense batches. *)
+let indexer b =
+  match b.sel with
+  | None -> fun i -> i
+  | Some s -> fun i -> Array.unsafe_get s i
+
+let phys b i = match b.sel with None -> i | Some s -> s.(i)
+
+(* Box one cell; [i] is a logical row index. *)
+let cell b c i =
+  let i = phys b i in
+  match b.cols.(c) with
+  | Ints a -> Constant.Int a.(i)
+  | Floats a -> Constant.Float a.(i)
+  | Boxed a -> a.(i)
+
+(* Compare two cells without boxing when both columns are unboxed; must
+   agree with [Constant.compare] on the boxed values (it does: Int/Int is
+   [Int.compare], Float/Float is [Float.compare], and Int/Float coerces the
+   int side to float). *)
+let cell_compare ba ca ia bb cb ib =
+  let pa = phys ba ia and pb = phys bb ib in
+  match ba.cols.(ca), bb.cols.(cb) with
+  | Ints xs, Ints ys -> Int.compare xs.(pa) ys.(pb)
+  | Floats xs, Floats ys -> Float.compare xs.(pa) ys.(pb)
+  | Ints xs, Floats ys -> Float.compare (float_of_int xs.(pa)) ys.(pb)
+  | Floats xs, Ints ys -> Float.compare xs.(pa) (float_of_int ys.(pb))
+  | _ -> Constant.compare (cell ba ca ia) (cell bb cb ib)
+
+(* Attribute resolution, mirroring [Tuple.get]: first exact name match wins;
+   otherwise a unique match on the unqualified suffix; otherwise the same
+   [Err.Eval_error] a tuple lookup would raise. *)
+let find_col_opt b name =
+  let n = Array.length b.attrs in
+  let rec exact i =
+    if i >= n then None
+    else if String.equal b.attrs.(i) name then Some i
+    else exact (i + 1)
+  in
+  match exact 0 with
+  | Some _ as r -> r
+  | None ->
+    let matches = ref [] in
+    Array.iteri
+      (fun i a ->
+        match Disco_algebra.Plan.split_attr a with
+        | Some (_, base) when String.equal base name -> matches := i :: !matches
+        | _ -> ())
+      b.attrs;
+    (match !matches with [ i ] -> Some i | _ -> None)
+
+let find_col b name =
+  match find_col_opt b name with
+  | Some i -> i
+  | None ->
+    raise
+      (Err.Eval_error
+         (Fmt.str "attribute %S not found in tuple (%s)" name
+            (String.concat ", " (Array.to_list b.attrs))))
+
+(* The whole row, boxed. *)
+let row b i = Array.init (Array.length b.cols) (fun c -> cell b c i)
+
+let tuple_at b i = Tuple.make b.attrs (row b i)
+
+let to_tuples b = List.init b.len (fun i -> tuple_at b i)
+
+(* Rendered-values key, identical to [Tuple.key] on [tuple_at b i]. *)
+let row_key b i =
+  String.concat "\x00"
+    (List.init (Array.length b.cols) (fun c -> Constant.to_string (cell b c i)))
+
+let row_bytes b i =
+  let i = phys b i in
+  let acc = ref 0 in
+  for c = 0 to Array.length b.cols - 1 do
+    acc :=
+      !acc
+      +
+      match b.cols.(c) with
+      | Ints _ -> 8
+      | Floats _ -> 8
+      | Boxed a -> Constant.byte_size a.(i)
+  done;
+  !acc
+
+let same_schema a b =
+  a.attrs == b.attrs
+  || (Array.length a.attrs = Array.length b.attrs
+      && Array.for_all2 String.equal a.attrs b.attrs)
+
+(* --- Builder --------------------------------------------------------------- *)
+
+(* Column buffers start untyped; the first row decides Ints / Floats / Boxed
+   per column, and a later mismatching value promotes the buffer to boxed,
+   copying the prefix. *)
+type buf =
+  | Bempty
+  | Bints of int array
+  | Bfloats of float array
+  | Bboxed of Constant.t array
+
+type builder = {
+  battrs : string array;
+  mutable bufs : buf array;
+  mutable blen : int;
+  mutable cap : int;
+  mutable bbytes : int;
+}
+
+let builder ?(hint = 64) attrs =
+  { battrs = attrs;
+    bufs = Array.make (Array.length attrs) Bempty;
+    blen = 0;
+    cap = max hint 1;
+    bbytes = 0 }
+
+let builder_len bld = bld.blen
+
+let grow bld =
+  let cap' = bld.cap * 2 in
+  bld.bufs <-
+    Array.map
+      (function
+        | Bempty -> Bempty
+        | Bints a ->
+          let a' = Array.make cap' 0 in
+          Array.blit a 0 a' 0 bld.blen; Bints a'
+        | Bfloats a ->
+          let a' = Array.make cap' 0. in
+          Array.blit a 0 a' 0 bld.blen; Bfloats a'
+        | Bboxed a ->
+          let a' = Array.make cap' Constant.Null in
+          Array.blit a 0 a' 0 bld.blen; Bboxed a')
+      bld.bufs;
+  bld.cap <- cap'
+
+let box_prefix bld = function
+  | Bempty -> Array.make bld.cap Constant.Null
+  | Bints a -> Array.init bld.cap (fun i -> if i < bld.blen then Constant.Int a.(i) else Constant.Null)
+  | Bfloats a ->
+    Array.init bld.cap (fun i -> if i < bld.blen then Constant.Float a.(i) else Constant.Null)
+  | Bboxed a -> a
+
+(* Store cell [v] at column [c], row [bld.blen]; caller bumps [blen]. *)
+let put bld c (v : Constant.t) =
+  let i = bld.blen in
+  (match bld.bufs.(c), v with
+   | Bints a, Constant.Int x -> a.(i) <- x
+   | Bfloats a, Constant.Float x -> a.(i) <- x
+   | Bboxed a, v -> a.(i) <- v
+   | Bempty, Constant.Int x ->
+     let a = Array.make bld.cap 0 in
+     a.(i) <- x;
+     bld.bufs.(c) <- Bints a
+   | Bempty, Constant.Float x ->
+     let a = Array.make bld.cap 0. in
+     a.(i) <- x;
+     bld.bufs.(c) <- Bfloats a
+   | (Bempty | Bints _ | Bfloats _), v ->
+     let a = box_prefix bld bld.bufs.(c) in
+     a.(i) <- v;
+     bld.bufs.(c) <- Bboxed a);
+  bld.bbytes <- bld.bbytes + Constant.byte_size v
+
+let add_row bld (values : Constant.t array) =
+  if bld.blen >= bld.cap then grow bld;
+  Array.iteri (fun c v -> put bld c v) values;
+  bld.blen <- bld.blen + 1
+
+(* Append row [i] of batch [src]; schemas must already agree (column count —
+   callers key output builders by schema). Unboxed-to-unboxed copies avoid
+   boxing. *)
+let add_from bld (src : t) i =
+  if bld.blen >= bld.cap then grow bld;
+  let j = bld.blen in
+  let ip = phys src i in
+  Array.iteri
+    (fun c scol ->
+      match bld.bufs.(c), scol with
+      | Bints a, Ints s ->
+        a.(j) <- s.(ip);
+        bld.bbytes <- bld.bbytes + 8
+      | Bfloats a, Floats s ->
+        a.(j) <- s.(ip);
+        bld.bbytes <- bld.bbytes + 8
+      | Bempty, Ints s ->
+        let a = Array.make bld.cap 0 in
+        a.(j) <- s.(ip);
+        bld.bufs.(c) <- Bints a;
+        bld.bbytes <- bld.bbytes + 8
+      | Bempty, Floats s ->
+        let a = Array.make bld.cap 0. in
+        a.(j) <- s.(ip);
+        bld.bufs.(c) <- Bfloats a;
+        bld.bbytes <- bld.bbytes + 8
+      | _, _ -> put bld c (cell src c i))
+    src.cols;
+  bld.blen <- j + 1
+
+(* Append the concatenation of row [li] of [l] and row [ri] of [r]; the
+   builder's schema is [l.attrs ++ r.attrs]. *)
+let add_pair_from bld (l : t) li (r : t) ri =
+  if bld.blen >= bld.cap then grow bld;
+  let j = bld.blen in
+  let lw = Array.length l.cols in
+  let one off (src : t) c i =
+    let ip = phys src i in
+    match bld.bufs.(off + c), src.cols.(c) with
+    | Bints a, Ints s ->
+      a.(j) <- s.(ip);
+      bld.bbytes <- bld.bbytes + 8
+    | Bfloats a, Floats s ->
+      a.(j) <- s.(ip);
+      bld.bbytes <- bld.bbytes + 8
+    | Bempty, Ints s ->
+      let a = Array.make bld.cap 0 in
+      a.(j) <- s.(ip);
+      bld.bufs.(off + c) <- Bints a;
+      bld.bbytes <- bld.bbytes + 8
+    | Bempty, Floats s ->
+      let a = Array.make bld.cap 0. in
+      a.(j) <- s.(ip);
+      bld.bufs.(off + c) <- Bfloats a;
+      bld.bbytes <- bld.bbytes + 8
+    | _, _ -> put bld (off + c) (cell src c i)
+  in
+  for c = 0 to lw - 1 do one 0 l c li done;
+  for c = 0 to Array.length r.cols - 1 do one lw r c ri done;
+  bld.blen <- j + 1
+
+(* Borrow the builder's rows as a batch WITHOUT transferring ownership: the
+   column arrays are shared and may be longer than [len]. Valid only until
+   the next mutation of the builder; callers must copy anything they keep
+   (see [copy] / [filter]) and then [reset]. This is what lets a residual
+   scan reuse one set of staging arrays for the whole scan instead of
+   flushing a fresh major-heap allocation per batch just to filter it. *)
+let unsafe_view bld : t =
+  let view = function
+    | Bempty -> Boxed [||]
+    | Bints a -> Ints a
+    | Bfloats a -> Floats a
+    | Bboxed a -> Boxed a
+  in
+  { attrs = bld.battrs; cols = Array.map view bld.bufs; len = bld.blen;
+    bytes = bld.bbytes; sel = None }
+
+(* Drop the accumulated rows but keep the buffers (and their types) for the
+   next fill. Pairs with [unsafe_view]. *)
+let reset bld =
+  bld.blen <- 0;
+  bld.bbytes <- 0
+
+(* A batch owning freshly trimmed (and, for selection-vector batches,
+   gathered) copies of [b]'s columns — densifies, detaching a borrowed view
+   or a filter result from the arrays it shares. *)
+let copy (b : t) : t =
+  match b.sel with
+  | None ->
+    let cols =
+      Array.map
+        (function
+          | Ints a -> Ints (Array.sub a 0 b.len)
+          | Floats a -> Floats (Array.sub a 0 b.len)
+          | Boxed a -> Boxed (Array.sub a 0 b.len))
+        b.cols
+    in
+    { b with cols }
+  | Some s ->
+    let n = b.len in
+    let cols =
+      Array.map
+        (function
+          | Ints a -> Ints (Array.init n (fun k -> a.(s.(k))))
+          | Floats a -> Floats (Array.init n (fun k -> a.(s.(k))))
+          | Boxed a -> Boxed (Array.init n (fun k -> a.(s.(k)))))
+        b.cols
+    in
+    { b with cols; sel = None }
+
+(* Emit the accumulated rows as a batch and reset the builder. *)
+let flush bld : t =
+  let n = bld.blen in
+  let trim = function
+    | Bempty -> Boxed [||]
+    | Bints a -> Ints (if Array.length a = n then a else Array.sub a 0 n)
+    | Bfloats a -> Floats (if Array.length a = n then a else Array.sub a 0 n)
+    | Bboxed a -> Boxed (if Array.length a = n then a else Array.sub a 0 n)
+  in
+  let b =
+    { attrs = bld.battrs; cols = Array.map trim bld.bufs; len = n;
+      bytes = bld.bbytes; sel = None }
+  in
+  bld.bufs <- Array.make (Array.length bld.battrs) Bempty;
+  bld.blen <- 0;
+  bld.bbytes <- 0;
+  b
+
+(* --- Selection ------------------------------------------------------------- *)
+
+(* Keep the rows whose mask byte is non-zero. [keep] is their count. The
+   result SHARES [b]'s column arrays and carries a selection vector instead
+   of gathering — at high row counts the gather's allocation churn (and the
+   major-GC work it triggers against a large live heap) costs more than the
+   whole filter. Consumers translate through [indexer]/[phys]. *)
+let filter b (mask : Bytes.t) ~keep : t =
+  if keep = b.len then b
+  else begin
+    let sel = Array.make (max keep 1) 0 in
+    let j = ref 0 in
+    (match b.sel with
+     | None ->
+       for i = 0 to b.len - 1 do
+         if Bytes.unsafe_get mask i <> '\000' then begin
+           Array.unsafe_set sel !j i;
+           incr j
+         end
+       done
+     | Some s ->
+       for i = 0 to b.len - 1 do
+         if Bytes.unsafe_get mask i <> '\000' then begin
+           Array.unsafe_set sel !j (Array.unsafe_get s i);
+           incr j
+         end
+       done);
+    let sel = if keep = Array.length sel then sel else Array.sub sel 0 keep in
+    let bytes = ref 0 in
+    Array.iter
+      (function
+        | Ints _ | Floats _ -> bytes := !bytes + (8 * keep)
+        | Boxed a ->
+          for k = 0 to keep - 1 do
+            bytes := !bytes + Constant.byte_size a.(Array.unsafe_get sel k)
+          done)
+      b.cols;
+    { b with sel = Some sel; len = keep; bytes = !bytes }
+  end
+
+(* Restrict to a subset of columns (projection); shares column arrays. *)
+let select_cols b names =
+  let idx = List.map (fun n -> find_col b n) names in
+  let cols = Array.of_list (List.map (fun i -> b.cols.(i)) idx) in
+  let bytes = ref 0 in
+  Array.iter
+    (function
+      | Ints _ | Floats _ -> bytes := !bytes + (8 * b.len)
+      | Boxed a ->
+        for i = 0 to b.len - 1 do
+          bytes := !bytes + Constant.byte_size a.(phys b i)
+        done)
+    cols;
+  { attrs = Array.of_list names; cols; len = b.len; bytes = !bytes; sel = b.sel }
+
+(* Zero-copy batch over a table's columnar mirror: the column arrays are
+   shared, not copied — a full scan's output references storage the way any
+   vectorized engine's scan vectors do. Safe because batches are read-only
+   after construction. [n] is the table's row count (= every column's
+   length). *)
+let of_table_columns attrs (cols : Disco_storage.Table.col array) n : t =
+  let bytes = ref 0 in
+  let cols =
+    Array.map
+      (function
+        | Disco_storage.Table.Cints a ->
+          bytes := !bytes + (8 * n);
+          Ints a
+        | Disco_storage.Table.Cfloats a ->
+          bytes := !bytes + (8 * n);
+          Floats a
+        | Disco_storage.Table.Cboxed a ->
+          Array.iter (fun v -> bytes := !bytes + Constant.byte_size v) a;
+          Boxed a)
+      cols
+  in
+  { attrs; cols; len = n; bytes = !bytes; sel = None }
+
+(* Convert a tuple list (one schema run is NOT assumed: the caller chunks on
+   schema change) — helper for materialized inputs lives in Run. *)
+let of_tuples attrs (ts : Tuple.t list) : t =
+  let bld = builder ~hint:(max (List.length ts) 1) attrs in
+  List.iter (fun (t : Tuple.t) -> add_row bld t.Tuple.values) ts;
+  flush bld

@@ -1,0 +1,106 @@
+(** Columnar tuple batches for the vectorized executor: a run of rows
+    sharing one schema, stored column-wise. Int and float columns are
+    unboxed; strings, booleans, nulls and mixed columns fall back to a boxed
+    [Constant.t array]. The builder types each column optimistically from
+    its first value and promotes to boxed on the first mismatch.
+
+    Invariants the batch execution path relies on: emitted batches are
+    non-empty; [byte_size] is the exact integer sum of {!Tuple.byte_size}
+    over the rows; {!find_col} resolves names exactly like {!Tuple.get}. *)
+
+open Disco_common
+
+type col =
+  | Ints of int array
+  | Floats of float array
+  | Boxed of Constant.t array
+
+type t = {
+  attrs : string array;
+  cols : col array;
+  len : int;
+  bytes : int;
+  sel : int array option;
+      (** selection vector: when [Some s], logical row [i] of the batch lives
+          at physical index [s.(i)] of every column array (and
+          [len = Array.length s]). Filters emit this instead of gathering
+          columns; read raw columns through {!indexer}. *)
+}
+
+val length : t -> int
+val attrs : t -> string array
+val byte_size : t -> int
+
+val indexer : t -> int -> int
+(** Logical-to-physical row translation ([fun i -> i] for dense batches).
+    Bind it once outside a loop when indexing [cols] arrays directly. *)
+
+val cell : t -> int -> int -> Constant.t
+(** [cell b col row], boxed. *)
+
+val cell_compare : t -> int -> int -> t -> int -> int -> int
+(** [cell_compare ba ca ia bb cb ib] agrees with [Constant.compare] on the
+    boxed cells but avoids boxing for unboxed column pairs. *)
+
+val find_col_opt : t -> string -> int option
+
+val find_col : t -> string -> int
+(** Resolution identical to {!Tuple.get}: exact match first, then a unique
+    unqualified-suffix match.
+    @raise Disco_common.Err.Eval_error when absent or ambiguous. *)
+
+val row : t -> int -> Constant.t array
+val tuple_at : t -> int -> Tuple.t
+val to_tuples : t -> Tuple.t list
+
+val row_key : t -> int -> string
+(** Identical to [Tuple.key (tuple_at b i)]. *)
+
+val row_bytes : t -> int -> int
+(** Identical to [Tuple.byte_size (tuple_at b i)]. *)
+
+val same_schema : t -> t -> bool
+
+type builder
+
+val builder : ?hint:int -> string array -> builder
+val builder_len : builder -> int
+val add_row : builder -> Constant.t array -> unit
+
+val add_from : builder -> t -> int -> unit
+val add_pair_from : builder -> t -> int -> t -> int -> unit
+(** Append the concatenation of a row of each input; the builder's schema
+    must be the concatenation of the two inputs' schemas. *)
+
+val flush : builder -> t
+(** Emit the accumulated rows and reset the builder (possibly empty). *)
+
+val unsafe_view : builder -> t
+(** Borrow the builder's rows as a batch without transferring ownership:
+    column arrays are shared (and may be longer than the batch). Valid only
+    until the builder's next mutation — keep data via {!copy} or {!filter},
+    then {!reset}. *)
+
+val reset : builder -> unit
+(** Drop the accumulated rows, keeping the buffers for the next fill. *)
+
+val copy : t -> t
+(** A dense batch owning fresh copies of the columns: trims over-long shared
+    arrays (detaching a {!unsafe_view}) and gathers through any selection
+    vector. *)
+
+val filter : t -> Bytes.t -> keep:int -> t
+(** Rows whose mask byte is non-zero; [keep] is their count. Shares the
+    input's column arrays and sets a selection vector rather than copying —
+    {!copy} densifies when the input's storage is about to be reused. *)
+
+val select_cols : t -> string list -> t
+(** Projection; shares column arrays.
+    @raise Disco_common.Err.Eval_error on unknown/ambiguous names. *)
+
+val of_table_columns : string array -> Disco_storage.Table.col array -> int -> t
+(** Zero-copy batch over a table's columnar mirror (column arrays shared,
+    not copied); the int is the table's row count. *)
+
+val of_tuples : string array -> Tuple.t list -> t
+(** Build from same-schema tuples (the caller chunks on schema change). *)

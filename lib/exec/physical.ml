@@ -33,8 +33,9 @@ type t =
   | Pdedup of t
   | Paggregate of t * Plan.aggregate
   (* Already-computed input (a wrapper subresult at the mediator), with the
-     simulated times spent producing it. *)
-  | Pmaterialized of { rows : Tuple.t list; first : float; total : float }
+     simulated times spent producing it. [count] is [List.length rows],
+     carried so pretty-printing never walks materialized data. *)
+  | Pmaterialized of { rows : Tuple.t list; count : int; first : float; total : float }
 
 let rec pp ppf = function
   | Pscan { table; binding; access; residual } ->
@@ -56,7 +57,7 @@ let rec pp ppf = function
   | Punion (l, r) -> Fmt.pf ppf "union(%a, %a)" pp l pp r
   | Pdedup c -> Fmt.pf ppf "dedup(%a)" pp c
   | Paggregate (c, _) -> Fmt.pf ppf "aggregate(%a)" pp c
-  | Pmaterialized { rows; _ } -> Fmt.pf ppf "materialized[%d rows]" (List.length rows)
+  | Pmaterialized { count; _ } -> Fmt.pf ppf "materialized[%d rows]" count
 
 (* Strip the binding qualifier when the attribute belongs to [binding]. *)
 let local_attr ~binding qattr =

@@ -32,9 +32,11 @@ type t =
   | Punion of t * t
   | Pdedup of t
   | Paggregate of t * Plan.aggregate
-  | Pmaterialized of { rows : Tuple.t list; first : float; total : float }
+  | Pmaterialized of { rows : Tuple.t list; count : int; first : float; total : float }
       (** An already-computed input (a wrapper subresult at the mediator),
-          with the simulated times spent producing it. *)
+          with the simulated times spent producing it. [count] must equal
+          [List.length rows]; it is carried so pretty-printing a plan never
+          walks materialized data. *)
 
 val pp : Format.formatter -> t -> unit
 

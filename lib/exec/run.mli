@@ -3,7 +3,14 @@
     CPU per predicate, materialization per object touched, delivery per
     result. The resulting measured cost vectors play the role of the paper's
     "real measurements of an object database system" (§5); they are also what
-    the historical-cost extension feeds back into the cost model. *)
+    the historical-cost extension feeds back into the cost model.
+
+    Two engines share the operators: the original tuple-at-a-time
+    interpreter, and a batched engine streaming columnar {!Batch.t} chunks
+    with predicates compiled once per batch ({!Bpred}). Both replay the same
+    buffer-pool accesses and charge simulated time through shared cost
+    formulas, so rows and simulated costs are bit-identical between engines;
+    only [wall_ms] — the real clock on the engine itself — differs. *)
 
 open Disco_storage
 
@@ -18,19 +25,35 @@ type env = {
           shipped to the mediator at registration, like cost rules *)
 }
 
+(** Which engine executes the plan. *)
+type mode = Tuple_at_a_time | Batched of { batch_size : int }
+
+val default_batch_size : int
+(** 1024 rows per batch unless overridden. *)
+
+val default_mode : unit -> mode
+(** The session default: [Batched] when [DISCO_ENGINE] is
+    [batch|batched|vector|vectorized] (batch size from [DISCO_BATCH]),
+    [Tuple_at_a_time] otherwise. *)
+
+val set_default_mode : mode -> unit
+
 type result = {
   rows : Tuple.t list;
   first : float;  (** simulated ms until the first object *)
   total : float;  (** simulated ms until completion *)
+  wall_ms : float;  (** real elapsed ms of the engine itself *)
 }
 
-(** The measured counterpart of the estimator's five cost variables. *)
+(** The measured counterpart of the estimator's five cost variables, plus
+    the real clock. *)
 type vector = {
   count : float;
   size : float;
   time_first : float;
   time_next : float;
   total_time : float;
+  wall_ms : float;
 }
 
 val vector_of_result : result -> vector
@@ -57,8 +80,10 @@ exception Submit_error of submit_failure
 val reason_to_string : failure_reason -> string
 val pp_submit_failure : Format.formatter -> submit_failure -> unit
 
-val run : env -> Physical.t -> result
-(** Execute a physical plan, producing rows and simulated times.
+val run : ?mode:mode -> env -> Physical.t -> result
+(** Execute a physical plan, producing rows and simulated times. [mode]
+    defaults to {!default_mode}; both engines produce the same rows in the
+    same order and bit-identical simulated times.
 
     Concurrency contract: [run] mutates [env.buffer] (the buffer pool's
     replacement state), so a given [env] must be driven from one domain at
@@ -70,5 +95,31 @@ val run : env -> Physical.t -> result
     simulated times already charged — and the mediator-side composition
     that [run] performs stays single-domain and deterministic. *)
 
-val measure : env -> Physical.t -> Tuple.t list * vector
-(** {!run} followed by {!vector_of_result}. *)
+val measure : ?mode:mode -> env -> Physical.t -> Tuple.t list * vector
+(** {!run} followed by {!vector_of_result}. In batched mode the vector's
+    count and size come from incrementally-carried totals rather than a
+    walk over the result rows. *)
+
+(** {1 Batched execution}
+
+    The batched result keeps rows in columnar form; a result is a list of
+    batches (unions legally mix schemas in one stream), every batch
+    non-empty, concatenated row order equal to the tuple engine's. *)
+
+type batched_result = {
+  batches : Batch.t list;
+  bcount : int;   (** total rows across [batches] *)
+  bbytes : int;   (** total {!Tuple.byte_size} across [batches] *)
+  bfirst : float;
+  btotal : float;
+  bwall_ms : float;
+}
+
+val run_batched : ?batch_size:int -> env -> Physical.t -> batched_result
+(** Execute with the batched engine, keeping the columnar result. Same
+    concurrency contract as {!run}. *)
+
+val rows_of_batched : batched_result -> Tuple.t list
+
+val vector_of_batched : batched_result -> vector
+(** Built from the carried [bcount]/[bbytes] — O(#batches), not O(rows). *)

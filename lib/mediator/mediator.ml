@@ -575,6 +575,7 @@ let submit_subplan ?prefetched t src sub : Physical.t =
     Health.on_success t.health src;
     Physical.Pmaterialized
       { rows;
+        count = int_of_float vec.Run.count;
         first = vec.Run.time_first +. net.Costs.msg_ms +. inflate;
         total = vec.Run.total_time +. comm +. inflate }
   in

@@ -92,3 +92,32 @@ let search t (op : Cmp.t) k =
   | Ge -> range ~lo:k t
   | Ne ->
     range ~hi:k ~hi_strict:true t @ range ~lo:k ~lo_strict:true t
+
+(* Streaming variants of [range]/[search]: visit the same rids in the same
+   order without materializing the list — the batch executor's index scans
+   fetch millions of rids at the large OO7 scale. *)
+let iter_range ?lo ?(lo_strict = false) ?hi ?(hi_strict = false) t f =
+  let start =
+    match lo with
+    | None -> 0
+    | Some k -> if lo_strict then upper_bound t k else lower_bound t k
+  in
+  let stop =
+    match hi with
+    | None -> Array.length t.keys
+    | Some k -> if hi_strict then lower_bound t k else upper_bound t k
+  in
+  for i = start to stop - 1 do
+    List.iter f t.rids.(i)
+  done
+
+let iter_search t (op : Cmp.t) k f =
+  match op with
+  | Cmp.Eq -> List.iter f (lookup t k)
+  | Lt -> iter_range ~hi:k ~hi_strict:true t f
+  | Le -> iter_range ~hi:k t f
+  | Gt -> iter_range ~lo:k ~lo_strict:true t f
+  | Ge -> iter_range ~lo:k t f
+  | Ne ->
+    iter_range ~hi:k ~hi_strict:true t f;
+    iter_range ~lo:k ~lo_strict:true t f

@@ -38,3 +38,12 @@ val range :
 val search : t -> Cmp.t -> Constant.t -> rid list
 (** Rids satisfying [key op k], in key order ([Ne] concatenates the two
     ranges around [k]). *)
+
+val iter_range :
+  ?lo:Constant.t -> ?lo_strict:bool -> ?hi:Constant.t -> ?hi_strict:bool -> t ->
+  (rid -> unit) -> unit
+(** Visit exactly the rids {!range} would return, in the same order,
+    without materializing the list. *)
+
+val iter_search : t -> Cmp.t -> Constant.t -> (rid -> unit) -> unit
+(** Visit exactly the rids {!search} would return, in the same order. *)

@@ -9,6 +9,16 @@ open Disco_catalog
 
 type tuple = Constant.t array
 
+(* One whole-table column in storage order: unboxed when every cell is an
+   Int (resp. Float), boxed otherwise. The vectorized executor's scan blits
+   batch-sized slices out of these instead of transposing boxed cells row by
+   row — that is what lets a columnar scan beat the tuple engine, whose
+   scan shares the stored row arrays and does no per-cell work at all. *)
+type col =
+  | Cints of int array
+  | Cfloats of float array
+  | Cboxed of Constant.t array
+
 type t = {
   name : string;
   schema : Schema.collection;
@@ -19,6 +29,7 @@ type t = {
   indexes : (string * Btree.t) list;  (* attribute -> index *)
   clustered_on : string option;
   count : int;
+  columnar : col array;           (* per attribute, whole table, page order *)
 }
 
 let attr_pos t name =
@@ -71,6 +82,32 @@ let create ~name ~schema ?(page_size = 4096) ?(fill = 0.96) ~object_size ?cluste
       pages;
     (attr, Btree.build !entries)
   in
+  (* The columnar mirror duplicates the data in unboxed form (cheaper than
+     the boxed rows it shadows). Built eagerly so concurrent domains never
+     race on a lazy cell. [arr] is already in page order — pages were cut
+     from it above. *)
+  let ncols = List.length schema.Schema.attributes in
+  let columnar =
+    Array.init ncols (fun c ->
+        let rec kind i k =
+          if i >= count then k
+          else
+            match arr.(i).(c), k with
+            | Constant.Int _, (`Any | `Int) -> kind (i + 1) `Int
+            | Constant.Float _, (`Any | `Float) -> kind (i + 1) `Float
+            | _ -> `Boxed
+        in
+        match kind 0 `Any with
+        | `Int ->
+          Cints
+            (Array.init count (fun i ->
+                 match arr.(i).(c) with Constant.Int x -> x | _ -> assert false))
+        | `Float ->
+          Cfloats
+            (Array.init count (fun i ->
+                 match arr.(i).(c) with Constant.Float x -> x | _ -> assert false))
+        | `Any | `Boxed -> Cboxed (Array.init count (fun i -> arr.(i).(c))))
+  in
   { name;
     schema;
     pages;
@@ -79,11 +116,13 @@ let create ~name ~schema ?(page_size = 4096) ?(fill = 0.96) ~object_size ?cluste
     fill;
     indexes = List.map index_of index_on;
     clustered_on = cluster_on;
-    count }
+    count;
+    columnar }
 
 let page_count t = Array.length t.pages
 let count t = t.count
 let total_size t = t.count * t.object_size
+let columnar t = t.columnar
 
 let fetch t (rid : Btree.rid) : tuple = t.pages.(rid.Btree.page).(rid.Btree.slot)
 
@@ -92,13 +131,20 @@ let has_index t attr = List.mem_assoc attr t.indexes
 
 let iter_pages t f = Array.iteri f t.pages
 
+let fold_pages t init f =
+  let acc = ref init in
+  Array.iteri (fun p page -> acc := f !acc p page) t.pages;
+  !acc
+
+let fold_rows t init f =
+  fold_pages t init (fun acc _ page -> Array.fold_left f acc page)
+
 (* All rows, in storage order. *)
-let rows t =
-  Array.to_list t.pages |> List.concat_map (fun p -> Array.to_list p)
+let rows t = List.rev (fold_rows t [] (fun acc row -> row :: acc))
 
 let column t attr =
   let pos = attr_pos t attr in
-  List.map (fun row -> row.(pos)) (rows t)
+  List.rev (fold_rows t [] (fun acc row -> row.(pos) :: acc))
 
 (* --- Statistics export (the wrapper's cardinality methods, paper §3.2) --- *)
 

@@ -9,6 +9,15 @@ open Disco_catalog
 
 type tuple = Constant.t array
 
+(** One whole-table column in storage (page) order: unboxed when every cell
+    is an Int (resp. Float), boxed otherwise. Cell [i] equals cell [i] of
+    the [i]-th stored row, so a scan reading from the mirror sees exactly
+    the rows it would read page by page. *)
+type col =
+  | Cints of int array
+  | Cfloats of float array
+  | Cboxed of Constant.t array
+
 type t = {
   name : string;
   schema : Schema.collection;
@@ -19,6 +28,7 @@ type t = {
   indexes : (string * Btree.t) list;
   clustered_on : string option;
   count : int;
+  columnar : col array;       (** per attribute; built once at creation *)
 }
 
 val attr_pos : t -> string -> int
@@ -47,12 +57,22 @@ val page_count : t -> int
 val count : t -> int
 val total_size : t -> int
 
+val columnar : t -> col array
+(** The columnar mirror of the stored rows, one {!col} per attribute. *)
+
 val fetch : t -> Btree.rid -> tuple
 
 val index : t -> string -> Btree.t option
 val has_index : t -> string -> bool
 
 val iter_pages : t -> (int -> tuple array -> unit) -> unit
+
+val fold_pages : t -> 'a -> ('a -> int -> tuple array -> 'a) -> 'a
+(** Fold over pages in storage order; the callback receives the page
+    number, as {!iter_pages} does. *)
+
+val fold_rows : t -> 'a -> ('a -> tuple -> 'a) -> 'a
+(** Fold over all rows in storage order without materializing a list. *)
 
 val rows : t -> tuple list
 (** All rows, in storage order. *)

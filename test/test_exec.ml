@@ -312,7 +312,7 @@ let test_aggregate_empty_group_by () =
 
 let test_materialized_passthrough () =
   let rows = [ Tuple.make [| "x" |] [| Constant.Int 1 |] ] in
-  let r = Run.run (env ()) (Physical.Pmaterialized { rows; first = 5.; total = 9. }) in
+  let r = Run.run (env ()) (Physical.Pmaterialized { rows; count = 1; first = 5.; total = 9. }) in
   Alcotest.(check int) "rows" 1 (List.length r.Run.rows);
   Alcotest.(check (float 0.)) "first" 5. r.Run.first;
   Alcotest.(check (float 0.)) "total" 9. r.Run.total
@@ -351,6 +351,50 @@ let test_buffer_effect_on_repeat () =
   let cold = Run.run e phys in
   let warm = Run.run e phys in
   Alcotest.(check bool) "warm run cheaper" true (warm.Run.total < cold.Run.total)
+
+(* --- Batch boundaries ----------------------------------------------------------------
+
+   The batched engine at its boundary sizes — 1 row per batch, a batch
+   larger than the whole input, and an empty input — produces exactly the
+   tuple engine's rows and simulated times (the full operator-by-operator
+   differential lives in test_batch.ml). *)
+
+let test_batched_boundary_sizes () =
+  let parts = part_table ~n:50 () in
+  let plan = Plan.Select (scan_part, Pred.Cmp ("p.weight", Pred.Lt, Constant.Int 25)) in
+  let phys =
+    Physical.of_logical ~engine ~find_table:(find_table parts (box_table ~parts:50 ()))
+      plan
+  in
+  let want = Run.run ~mode:Run.Tuple_at_a_time (env ()) phys in
+  List.iter
+    (fun batch_size ->
+      let got = Run.run ~mode:(Run.Batched { batch_size }) (env ()) phys in
+      Alcotest.(check int)
+        (Fmt.str "rows @%d" batch_size)
+        (List.length want.Run.rows) (List.length got.Run.rows);
+      Alcotest.(check bool)
+        (Fmt.str "identical rows @%d" batch_size)
+        true
+        (List.for_all2 Tuple.equal want.Run.rows got.Run.rows);
+      Alcotest.(check (float 0.)) (Fmt.str "first @%d" batch_size) want.Run.first
+        got.Run.first;
+      Alcotest.(check (float 0.)) (Fmt.str "total @%d" batch_size) want.Run.total
+        got.Run.total)
+    [ 1; 49; 50; 51; 10_000 ]
+
+let test_batched_empty_input () =
+  let empty =
+    Table.create ~name:"Part" ~schema:part_schema ~object_size:56 ~index_on:[ "id" ] []
+  in
+  let phys =
+    Physical.Pscan
+      { table = empty; binding = "p"; access = Physical.Full_scan; residual = Pred.True }
+  in
+  let want = Run.run ~mode:Run.Tuple_at_a_time (env ()) phys in
+  let got = Run.run ~mode:(Run.Batched { batch_size = 1 }) (env ()) phys in
+  Alcotest.(check int) "no rows" 0 (List.length got.Run.rows);
+  Alcotest.(check (float 0.)) "total" want.Run.total got.Run.total
 
 (* qcheck: filter equivalence between the evaluator and naive evaluation for
    random single-attribute predicates *)
@@ -399,6 +443,8 @@ let () =
           Alcotest.test_case "aggregate" `Quick test_aggregate;
           Alcotest.test_case "aggregate no groups" `Quick test_aggregate_empty_group_by;
           Alcotest.test_case "materialized leaf" `Quick test_materialized_passthrough;
+          Alcotest.test_case "batched boundary sizes" `Quick test_batched_boundary_sizes;
+          Alcotest.test_case "batched empty input" `Quick test_batched_empty_input;
           QCheck_alcotest.to_alcotest prop_filter_equivalence ] );
       ( "measurement",
         [ Alcotest.test_case "vector" `Quick test_measure_vector;

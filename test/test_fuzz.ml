@@ -344,6 +344,63 @@ let prop_query_vs_reference =
       let a = Mediator.run_query med (t.sql v) in
       sorted_ids a.Mediator.rows t.out = t.reference v)
 
+(* --- Engine differential ------------------------------------------------------
+
+   The batched engine must be indistinguishable from the tuple engine on
+   anything but wall-clock: same rows in the same order, bit-identical
+   simulated cost vectors — across random plans, random batch sizes
+   (including 1 and sizes larger than any input) and both join modes. *)
+
+let gen_join_plan =
+  QCheck2.Gen.(
+    let* src, (c1, b1, a1), (c2, b2, a2) = oneofl joinables in
+    let* swap = bool in
+    let* v = int_range 0 8000 in
+    let s1 = Plan.Scan { Plan.source = src; collection = c1; binding = b1 } in
+    let s2 = Plan.Scan { Plan.source = src; collection = c2; binding = b2 } in
+    let filtered =
+      Plan.Select (s1, Pred.Cmp (b1 ^ ".id", Pred.Le, Constant.Int v))
+    in
+    let pred = Pred.Attr_cmp (a1, Pred.Eq, a2) in
+    return
+      (src, if swap then Plan.Join (s2, filtered, pred) else Plan.Join (filtered, s2, pred)))
+
+let gen_engine_plan =
+  QCheck2.Gen.(
+    frequency
+      [ (3, map (fun (src, p) ->
+             (src, match p with Plan.Submit (_, p) -> p | p -> p))
+           gen_plan);
+        (2, gen_join_plan) ])
+
+let bits = Int64.bits_of_float
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"batched = tuple: rows and simulated costs" ~count:150
+    QCheck2.Gen.(triple gen_engine_plan bool (int_range 1 70))
+    (fun ((src, plan), hj, bsz) ->
+      let w = List.find (fun w -> w.Wrapper.name = src) wrappers in
+      let phys = Wrapper.physical_plan w plan in
+      let env =
+        { Run.engine = w.Wrapper.engine;
+          buffer = w.Wrapper.buffer;
+          hash_join = hj;
+          adts = w.Wrapper.adts }
+      in
+      (* identical cold buffer state before each engine, so the IO charge
+         sequences are comparable *)
+      Buffer.clear w.Wrapper.buffer;
+      let rt, vt = Run.measure ~mode:Run.Tuple_at_a_time env phys in
+      Buffer.clear w.Wrapper.buffer;
+      let rb, vb = Run.measure ~mode:(Run.Batched { batch_size = bsz }) env phys in
+      List.length rt = List.length rb
+      && List.for_all2 Tuple.equal rt rb
+      && bits vt.Run.count = bits vb.Run.count
+      && bits vt.Run.size = bits vb.Run.size
+      && bits vt.Run.time_first = bits vb.Run.time_first
+      && bits vt.Run.total_time = bits vb.Run.total_time
+      && bits vt.Run.time_next = bits vb.Run.time_next)
+
 (* Both optimization objectives return the same rows. *)
 let prop_objectives_agree =
   QCheck2.Test.make ~name:"objectives agree on answers" ~count:20
@@ -363,6 +420,8 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_equi_depth; prop_merge; prop_cdf_monotone; prop_extremes;
             prop_deterministic; prop_selest_bounds_hist ] );
+      ( "engine differential",
+        List.map QCheck_alcotest.to_alcotest [ prop_engines_agree ] );
       ( "end-to-end",
         List.map QCheck_alcotest.to_alcotest
           [ prop_query_vs_reference; prop_objectives_agree ] ) ]

@@ -326,6 +326,39 @@ let test_stats_off_identical_oo7 () =
         Alcotest.failf "OO7 stats-off trace diverged at %d domains" domains)
     domain_counts
 
+(* --- Differential: batched engine composes with domains and stats ----------------- *)
+
+let with_mode m f =
+  let prev = Run.default_mode () in
+  Run.set_default_mode m;
+  Fun.protect ~finally:(fun () -> Run.set_default_mode prev) f
+
+(* The vectorized engine is a drop-in under every composition: for each
+   (domain count, stats mode) the full execution trace — rows, measured
+   bits, simulated clock — of the batched engine equals the tuple engine's,
+   over both the demo federation and OO7. *)
+let test_batched_composes () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun stats_mode ->
+          let exec_ref = trace_execute ~stats_mode ~domains () in
+          let oo7_ref = trace_oo7 ~stats_mode ~domains () in
+          List.iter
+            (fun batch_size ->
+              with_mode (Run.Batched { batch_size }) (fun () ->
+                  if trace_execute ~stats_mode ~domains () <> exec_ref then
+                    Alcotest.failf
+                      "batched execute trace diverged at %d domains, batch %d"
+                      domains batch_size;
+                  if trace_oo7 ~stats_mode ~domains () <> oo7_ref then
+                    Alcotest.failf
+                      "batched OO7 trace diverged at %d domains, batch %d"
+                      domains batch_size))
+            [ 17; 1024 ])
+        [ Mediator.Stats_off; Mediator.Stats_feedback History.default_feedback ])
+    domain_counts
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -347,4 +380,6 @@ let () =
           Alcotest.test_case "stats off = seed (demo)" `Quick
             test_stats_off_identical_demo;
           Alcotest.test_case "stats off = seed (OO7)" `Quick
-            test_stats_off_identical_oo7 ] ) ]
+            test_stats_off_identical_oo7;
+          Alcotest.test_case "batched engine composes (domains x stats)" `Quick
+            test_batched_composes ] ) ]
