@@ -26,11 +26,15 @@
               (--json=PATH as above)
      batch  — vectorized batch executor vs tuple-at-a-time: rows/sec on the
               scan/filter/hash-join kernels and the OO7 workload end to end;
-              DISCO_OO7_SCALE=large arms the 2x gate (--json=PATH as above) *)
+              DISCO_OO7_SCALE=large arms the 2x gate (--json=PATH as above)
+     serve  — the federation server under closed-loop multi-client load:
+              QPS and latency percentiles per domain count, with exact
+              client/server accounting and a warm-restart check
+              (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula"; "faults"; "parallel"; "batch" ]
+    "formula"; "faults"; "parallel"; "batch"; "serve" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -72,6 +76,7 @@ let () =
       | "faults" -> Faults.print ~smoke:small ?json_path ()
       | "parallel" -> Parallel.print ~smoke:small ?json_path ()
       | "batch" -> Batch_bench.print ~smoke:small ?json_path ()
+      | "serve" -> Serve_bench.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

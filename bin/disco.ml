@@ -421,6 +421,169 @@ let health_cmd =
           retries, circuit breaker).")
     Term.(const run $ small_arg $ seed_arg $ fault_arg $ domains_arg $ probes_arg)
 
+(* --- serve / metrics -------------------------------------------------------------- *)
+
+module Server = Disco_server.Server
+module Client = Disco_server.Client
+module Json = Disco_server.Json
+
+let socket_arg =
+  let doc = "Unix-domain socket path (ignored when --port is given)." in
+  Arg.(value & opt string "/tmp/disco.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let host_arg =
+  let doc = "TCP host to bind or connect to (with --port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "Serve over TCP on $(docv) instead of the unix socket." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let addr_of socket host port =
+  match port with
+  | Some port -> Server.Tcp { host; port }
+  | None -> Server.Unix_socket socket
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Admission-queue depth: queries beyond it are rejected immediately \
+       with $(b,queue_full) (the backpressure point)."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker threads draining the admission queue." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-query deadline (wall-clock ms from receipt) for queries \
+       that set none; expired-in-queue queries are rejected unexecuted."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let snapshot_arg =
+    let doc =
+      "Snapshot file for warm restarts: per-tenant histories, adjustment \
+       factors and the simulated clock are restored on start and saved on \
+       shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"PATH" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc = "Executed queries between periodic snapshots (0 disables)." in
+    Arg.(value & opt int 32 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let run small seed history no_rules no_cache stats fault domains engine
+      batch_size socket host port queue workers deadline snapshot snapshot_every =
+    handle (fun () ->
+        set_engine engine batch_size;
+        let med, _ =
+          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
+            ~no_rules ()
+        in
+        let config =
+          { Server.addr = addr_of socket host port;
+            queue_depth = queue;
+            workers;
+            default_deadline_ms = deadline;
+            snapshot_path = snapshot;
+            snapshot_every }
+        in
+        let srv = Server.create ~config med in
+        Server.start srv;
+        let shutdown _ = Server.stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        Server.wait srv)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent multi-tenant federation server: line-delimited \
+          JSON queries over a unix or TCP socket, bounded admission with \
+          backpressure, per-tenant history partitions, a shared plan cache, \
+          /health and /metrics endpoints, and snapshot-based warm restarts.")
+    Term.(
+      const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
+      $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg
+      $ socket_arg $ host_arg $ port_arg $ queue_arg $ workers_arg $ deadline_arg
+      $ snapshot_arg $ snapshot_every_arg)
+
+let metrics_cmd =
+  let json_flag =
+    let doc = "Print the raw JSON instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let iget path j = Option.value ~default:0 (Json.int_member path j) in
+  let fget path j = Option.value ~default:0. (Json.float_member path j) in
+  let run socket host port json =
+    handle (fun () ->
+        let c = Client.connect (addr_of socket host port) in
+        let m = Client.metrics c in
+        let h = Client.health c in
+        Client.close c;
+        if json then begin
+          print_endline (Json.to_string m);
+          print_endline (Json.to_string h)
+        end
+        else begin
+          let server = Option.value ~default:Json.Null (Json.member "server" m) in
+          let adm = Option.value ~default:Json.Null (Json.member "admission" m) in
+          let pc = Option.value ~default:Json.Null (Json.member "plancache" m) in
+          let st = Option.value ~default:Json.Null (Json.member "stats" m) in
+          Fmt.pr "server    up %.1fs  received %d  admitted %d  completed %d  \
+                  degraded %d  failed %d  in-flight %d@."
+            (fget "uptime_s" server) (iget "received" server)
+            (iget "admitted" server) (iget "completed" server)
+            (iget "degraded" server) (iget "failed" server)
+            (iget "in_flight" server);
+          Fmt.pr "rejected  queue_full %d  deadline %d@."
+            (iget "rejected_queue" server)
+            (iget "rejected_deadline" server);
+          let lat = Option.value ~default:Json.Null (Json.member "latency" server) in
+          Fmt.pr "latency   p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  max %.1f ms  \
+                  (%d samples)@."
+            (fget "p50_ms" lat) (fget "p95_ms" lat) (fget "p99_ms" lat)
+            (fget "max_ms" lat) (iget "samples" lat);
+          Fmt.pr "admission depth %d  queued %d  pushed %d  rejected %d  popped %d@."
+            (iget "depth" adm) (iget "queued" adm) (iget "pushed" adm)
+            (iget "rejected" adm) (iget "popped" adm);
+          Fmt.pr "plancache hits %d  misses %d  stale %d  evictions %d  entries %d@."
+            (iget "hits" pc) (iget "misses" pc) (iget "stale" pc)
+            (iget "evictions" pc) (iget "entries" pc);
+          Fmt.pr "stats     generation %d  history records %d  tenants %d@."
+            (iget "generation" st) (iget "history_records" st) (iget "tenants" st);
+          (match Json.member "sources" h with
+           | Some (Json.List sources) ->
+             Fmt.pr "health    clock %.0f ms@." (fget "clock_ms" h);
+             List.iter
+               (fun s ->
+                 let state =
+                   match Json.member "state" s with
+                   | Some (Json.String st) -> st
+                   | Some (Json.Obj ((k, _) :: _)) -> k
+                   | _ -> "?"
+                 in
+                 Fmt.pr "  %-10s %-10s ok %d  failed %d  retried %d  probes %d@."
+                   (Option.value ~default:"?" (Json.string_member "source" s))
+                   state (iget "ok" s) (iget "failed" s) (iget "retried" s)
+                   (iget "probes" s))
+               sources
+           | _ -> ())
+        end)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running server's /metrics and /health and print latency \
+          percentiles, admission counters, plan-cache rates and per-source \
+          breaker states.")
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ json_flag)
+
 (* --- fig12 ----------------------------------------------------------------------- *)
 
 let fig12_cmd =
@@ -478,4 +641,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ query_cmd; explain_cmd; analyze_cmd; registration_cmd; check_cmd;
-            lint_cmd; sources_cmd; health_cmd; fig12_cmd ]))
+            lint_cmd; sources_cmd; health_cmd; serve_cmd; metrics_cmd;
+            fig12_cmd ]))

@@ -36,6 +36,10 @@ type record = {
   source : string;
   measured : (Ast.cost_var * float) list;
   estimated_total : float;
+  (* predicted output cardinality when the plan was chosen; kept so a
+     snapshot replay re-derives the same selectivity corrections and drift
+     streaks the original observations produced *)
+  estimated_count : float option;
 }
 
 type t = {
@@ -62,6 +66,8 @@ let create ?(mode = Off) registry =
     lock = Mutex.create () }
 
 let set_mode t mode = t.mode <- mode
+
+let mode t = t.mode
 
 let set_feedback t ?on_drift fb =
   t.feedback <- fb;
@@ -132,7 +138,8 @@ let feed_cardinality t ~source ~plan ~actual ~estimated =
 (* Feed back the measured costs of an executed wrapper subquery. [plan] is
    the subplan that was submitted (without the submit node itself). *)
 let observe ?estimated_count t ~source ~(plan : Plan.t) ~measured ~estimated_total =
-  t.records <- { plan; source; measured; estimated_total } :: t.records;
+  t.records <-
+    { plan; source; measured; estimated_total; estimated_count } :: t.records;
   (match (estimated_count, List.assoc_opt Ast.Count_object measured) with
    | Some estimated, Some actual when estimated >= 0. && actual >= 0. ->
      feed_cardinality t ~source ~plan ~actual ~estimated

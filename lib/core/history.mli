@@ -33,6 +33,10 @@ type record = {
   source : string;
   measured : (Ast.cost_var * float) list;
   estimated_total : float;  (** the estimate made when the plan was chosen *)
+  estimated_count : float option;
+      (** predicted output cardinality when the plan was chosen; lets a
+          snapshot replay ({!observe} per record) re-derive the same
+          selectivity corrections the original observations produced *)
 }
 
 type t
@@ -40,6 +44,8 @@ type t
 val create : ?mode:mode -> Registry.t -> t
 
 val set_mode : t -> mode -> unit
+
+val mode : t -> mode
 
 val set_feedback : t -> ?on_drift:(source:string -> unit) -> feedback option -> unit
 (** Switch cardinality feedback on ([Some fb]) or off ([None]); resets drift

@@ -4,10 +4,11 @@
    [breaker_threshold] consecutive exhausted submit attempts the circuit
    opens for [breaker_cooldown_ms] of simulated time, during which the
    optimizer excludes the source from planning. Once the cooldown elapses
-   the next availability check admits a single half-open probe; a
-   successful submit closes the circuit, a failed one reopens it for
-   another cooldown. All times are simulated ms, supplied by the caller
-   (the mediator owns the clock). *)
+   the next availability check admits a single half-open probe — exactly
+   one caller wins admission, concurrent callers are refused until the
+   probe settles; a successful submit closes the circuit, a failed one
+   reopens it for another cooldown. All times are simulated ms, supplied
+   by the caller (the mediator owns the clock). *)
 
 type policy = {
   timeout_ms : float;         (* per-attempt bound on injected anomalies *)
@@ -26,7 +27,7 @@ let default_policy =
     breaker_threshold = 3;
     breaker_cooldown_ms = 60_000. }
 
-type state = Closed | Open of { until : float } | Half_open
+type state = Closed | Open of { until : float } | Half_open of { probing : bool }
 
 type entry = {
   mutable state : state;
@@ -35,6 +36,10 @@ type entry = {
   mutable failures : int;   (* exhausted attempt budgets, not single attempts *)
   mutable retries : int;
   mutable probes : int;     (* half-open probes admitted *)
+  (* simulated time past which an admitted-but-unsettled probe is presumed
+     lost (its query died between planning and submit) and a new probe may
+     be admitted; meaningful only in [Half_open { probing = true }] *)
+  mutable probe_lost_at : float;
   mutable last_error : string option;
 }
 
@@ -65,6 +70,7 @@ let entry t source =
         failures = 0;
         retries = 0;
         probes = 0;
+        probe_lost_at = 0.;
         last_error = None }
     in
     Hashtbl.add t.entries source e;
@@ -72,24 +78,47 @@ let entry t source =
 
 let state t source = Mutex.protect t.lock (fun () -> (entry t source).state)
 
+(* caller holds [t.lock]: admit the caller as the in-flight probe *)
+let admit_probe t e ~now =
+  e.state <- Half_open { probing = true };
+  e.probes <- e.probes + 1;
+  e.probe_lost_at <- now +. t.policy.breaker_cooldown_ms;
+  true
+
 let available t ~now source =
   Mutex.protect t.lock (fun () ->
       let e = entry t source in
       match e.state with
-      | Closed | Half_open -> true
+      | Closed -> true
       | Open { until } when now >= until ->
-        (* cooldown elapsed: admit one probe; its outcome settles the
-           circuit *)
-        e.state <- Half_open;
-        e.probes <- e.probes + 1;
-        true
-      | Open _ -> false)
+        (* cooldown elapsed: admit exactly this caller as the probe; its
+           outcome settles the circuit, everyone else is refused meanwhile *)
+        admit_probe t e ~now
+      | Open _ -> false
+      | Half_open { probing = false } ->
+        (* a previously admitted probe was returned unused — hand the slot
+           to this caller *)
+        admit_probe t e ~now
+      | Half_open { probing = true } when now >= e.probe_lost_at ->
+        (* the in-flight probe never settled (its query died between
+           planning and submit): presume it lost after a further cooldown
+           and admit a fresh one, so the source is not stuck half-open *)
+        admit_probe t e ~now
+      | Half_open { probing = true } -> false)
+
+let release_probe t source =
+  Mutex.protect t.lock (fun () ->
+      let e = entry t source in
+      match e.state with
+      | Half_open { probing = true } ->
+        e.state <- Half_open { probing = false }
+      | Closed | Open _ | Half_open { probing = false } -> ())
 
 let retry_at t source =
   Mutex.protect t.lock (fun () ->
       match (entry t source).state with
       | Open { until } -> until
-      | Closed | Half_open -> 0.)
+      | Closed | Half_open _ -> 0.)
 
 let on_success t source =
   Mutex.protect t.lock (fun () ->
@@ -106,7 +135,7 @@ let on_failure t ~now source ~reason =
       e.last_error <- Some reason;
       let open_until = now +. t.policy.breaker_cooldown_ms in
       match e.state with
-      | Half_open ->
+      | Half_open _ ->
         (* the probe failed: straight back to open *)
         e.state <- Open { until = open_until }
       | Closed when e.consecutive_failures >= t.policy.breaker_threshold ->
@@ -148,4 +177,5 @@ let report t =
 let pp_state ppf = function
   | Closed -> Fmt.string ppf "closed"
   | Open { until } -> Fmt.pf ppf "open(until %.0fms)" until
-  | Half_open -> Fmt.string ppf "half-open"
+  | Half_open { probing = true } -> Fmt.string ppf "half-open(probing)"
+  | Half_open { probing = false } -> Fmt.string ppf "half-open"

@@ -20,7 +20,11 @@ val default_policy : policy
 (** 10 s timeout, 3 attempts, 250 ms backoff doubling, breaker at 3
     consecutive failures with a 60 s cooldown — all simulated ms. *)
 
-type state = Closed | Open of { until : float } | Half_open
+type state = Closed | Open of { until : float } | Half_open of { probing : bool }
+(** [Half_open { probing = true }] tracks an admitted, not-yet-settled
+    probe: availability checks answer [false] until {!on_success} or
+    {!on_failure} settles the circuit (or the probe is presumed lost after
+    a further cooldown, or returned via {!release_probe}). *)
 
 type t
 
@@ -30,8 +34,20 @@ val policy : t -> policy
 
 val available : t -> now:float -> string -> bool
 (** Whether the source may be planned against / submitted to at simulated
-    time [now]. An open circuit whose cooldown has elapsed transitions to
-    half-open and admits the caller as its probe. *)
+    time [now]. This is the probe admission point: an open circuit whose
+    cooldown has elapsed transitions to half-open and admits {e exactly
+    one} caller as its probe — concurrent callers are refused until the
+    probe settles, so a recovering source sees a single probe per
+    cooldown instead of a storm. Callers that may check the same source
+    more than once while deciding one query must memoize the answer (the
+    mediator does), or the admission they won would refuse them. *)
+
+val release_probe : t -> string -> unit
+(** Return a probe admission that will never be submitted (the winning
+    query failed between planning and submit): the next availability check
+    admits a fresh probe immediately instead of waiting out the lost-probe
+    cooldown. No-op unless the circuit is half-open with a probe in
+    flight. *)
 
 val retry_at : t -> string -> float
 (** For an open circuit, when a half-open probe will be admitted; [0.]

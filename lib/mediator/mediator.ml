@@ -18,7 +18,13 @@ open Disco_sql
 type t = {
   catalog : Catalog.t;
   registry : Registry.t;
-  history : History.t;
+  (* the active history partition. One-shot use never touches it; the
+     server swaps in a per-tenant partition before each query (under its
+     execution lock), so feedback records and drift streaks are
+     per-tenant while the registry-level effects (adjust factors,
+     selectivity corrections, query-scope rules) blend into the shared
+     model as always. *)
+  mutable history : History.t;
   plancache : Plancache.t;
   health : Health.t;
   (* simulated wall clock, in ms; advances only when submit traffic runs
@@ -113,6 +119,21 @@ let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
 let registry t = t.registry
 let catalog t = t.catalog
 let history t = t.history
+
+(* A fresh history partition wired like the mediator's own: same mode, and
+   when feedback statistics are on, the same drift hook (histogram
+   recalibration). The server creates one per tenant. *)
+let fresh_history t =
+  let h = History.create ~mode:(History.mode t.history) t.registry in
+  (match t.stats_mode with
+   | Stats_off -> ()
+   | Stats_feedback fb ->
+     History.set_feedback h
+       ~on_drift:(fun ~source -> refresh_histograms t ~source)
+       (Some fb));
+  h
+
+let set_history t h = t.history <- h
 let plancache t = t.plancache
 let health t = t.health
 let now t = t.now
@@ -420,29 +441,65 @@ let decorate (r : resolved) (joined : Plan.t) : Plan.t =
 
 (* --- Plan selection ----------------------------------------------------------- *)
 
+(* Per-query availability view. [Health.available] is the circuit
+   breaker's probe admission point: the first check of a recovering source
+   admits exactly one half-open probe, and a second un-memoized check by
+   the same query would refuse the very admission it just won (planning
+   checks each source several times: fail-fast, seeding, variants). Each
+   query therefore decides availability once per source and reuses the
+   answer; [release] hands admitted-but-unsubmitted probes back when
+   planning fails, so the breaker is not stuck waiting out the lost-probe
+   cooldown. *)
+let availability t =
+  let memo = Hashtbl.create 4 in
+  let probed = ref [] in
+  let check s =
+    match Hashtbl.find_opt memo s with
+    | Some b -> b
+    | None ->
+      let b = Health.available t.health ~now:t.now s in
+      (if b then
+         match Health.state t.health s with
+         | Health.Half_open _ -> probed := s :: !probed
+         | Health.Closed | Health.Open _ -> ());
+      Hashtbl.replace memo s b;
+      b
+  in
+  let release () = List.iter (Health.release_probe t.health) !probed in
+  (check, release)
+
 (* Optimize one resolved variant into a complete decorated plan. Sources
    with an open circuit breaker are excluded from plan seeding. *)
-let plan_of_variant ?objective t (r : resolved) : Plan.t =
+let plan_of_variant ?objective ?available t (r : resolved) : Plan.t =
+  let available =
+    match available with
+    | Some f -> f
+    | None -> fst (availability t)
+  in
   let joined =
     match r.spec.Optimizer.bases with
     | [ b ] -> Optimizer.submit_base b
     | _ ->
       fst
         (Optimizer.optimize ?objective ~memo:t.cache_enabled
-           ?cache:(active_cache t)
-           ~available:(fun s -> Health.available t.health ~now:t.now s)
-           ~domains:t.domains t.registry r.spec)
+           ?cache:(active_cache t) ~available ~domains:t.domains t.registry
+           r.spec)
   in
   decorate r joined
 
 (* Graceful degradation starts at optimization time: when a query needs a
    source whose circuit is open and no alternative source serves the
    collection, fail before planning with an error that says when to retry. *)
-let check_sources_available t (r : resolved) =
+let check_sources_available ?available t (r : resolved) =
+  let available =
+    match available with
+    | Some f -> f
+    | None -> fst (availability t)
+  in
   List.iter
     (fun (b : Optimizer.base) ->
       let s = b.Optimizer.ref_.Plan.source in
-      if not (Health.available t.health ~now:t.now s) then
+      if not (available s) then
         raise
           (Err.Source_unavailable
              { source = s; retry_at_ms = Health.retry_at t.health s }))
@@ -473,23 +530,31 @@ let cached_estimate t ~var (plan : Plan.t) : float =
 let best_plan ?(objective = Optimizer.Total_time) t (text : string) : Plan.t * float =
   let q = Sql.parse text in
   let r = resolve t q in
-  check_sources_available t r;
-  let var =
-    match objective with
-    | Optimizer.Total_time -> Disco_costlang.Ast.Total_time
-    | Optimizer.First_tuple -> Disco_costlang.Ast.Time_first
-  in
-  let candidates =
-    List.map
-      (fun v ->
-        let plan = plan_of_variant ~objective t v in
-        (plan, cached_estimate t ~var plan))
-      (variants r)
-  in
-  match candidates with
+  let available, release_probes = availability t in
+  match
+    check_sources_available ~available t r;
+    let var =
+      match objective with
+      | Optimizer.Total_time -> Disco_costlang.Ast.Total_time
+      | Optimizer.First_tuple -> Disco_costlang.Ast.Time_first
+    in
+    let candidates =
+      List.map
+        (fun v ->
+          let plan = plan_of_variant ~objective ~available t v in
+          (plan, cached_estimate t ~var plan))
+        (variants r)
+    in
+    (candidates : (Plan.t * float) list)
+  with
   | [] -> raise (Err.Plan_error "no plan")
   | first :: rest ->
     List.fold_left (fun best c -> if snd c < snd best then c else best) first rest
+  | exception e ->
+    (* the query dies before any submit: give admitted half-open probes
+       back so concurrent traffic can re-probe immediately *)
+    release_probes ();
+    raise e
 
 let plan_query ?objective t text = best_plan ?objective t text
 
@@ -753,7 +818,7 @@ let unavailable_sources t =
     (fun (name, _) ->
       match Health.state t.health name with
       | Health.Open { until } -> Some (name, until)
-      | Health.Closed | Health.Half_open -> None)
+      | Health.Closed | Health.Half_open _ -> None)
     t.wrappers
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 

@@ -63,7 +63,20 @@ val refresh_histograms : t -> source:string -> unit
 
 val registry : t -> Registry.t
 val catalog : t -> Catalog.t
+
 val history : t -> History.t
+(** The active history partition (the one {!run_query} feeds). *)
+
+val fresh_history : t -> History.t
+(** A new, empty history partition wired like the mediator's own: same
+    mode, and — when feedback statistics are on — the same drift hook
+    (histogram recalibration). The server keeps one per tenant and swaps
+    it in with {!set_history} before each query. *)
+
+val set_history : t -> History.t -> unit
+(** Make [h] the active history partition. The caller must serialize this
+    with query execution (the server holds its execution lock across
+    [set_history] + {!run_query}). *)
 
 val plancache : t -> Plancache.t
 (** The cross-query plan/cost cache (its counters report hits, misses, stale
@@ -136,14 +149,21 @@ val decorate : resolved -> Plan.t -> Plan.t
 (** Wrap an optimized join tree with the mediator-side decoration: residual
     predicate, aggregation or projection, dedup, sort. *)
 
-val plan_of_variant : ?objective:Optimizer.objective -> t -> resolved -> Plan.t
+val plan_of_variant :
+  ?objective:Optimizer.objective -> ?available:(string -> bool) -> t ->
+  resolved -> Plan.t
 (** Optimize one resolved variant into a complete decorated plan. Sources
-    with an open circuit breaker are excluded from plan seeding. *)
+    with an open circuit breaker are excluded from plan seeding.
+    [available] overrides the availability check — {!run_query} passes a
+    per-query memoized view, because {!Health.available} is the breaker's
+    single-admission probe point and must be consulted once per source per
+    query. *)
 
-val check_sources_available : t -> resolved -> unit
+val check_sources_available : ?available:(string -> bool) -> t -> resolved -> unit
 (** @raise Disco_common.Err.Source_unavailable when a relation's source has
     an open circuit breaker (graceful degradation's fail-fast edge: no plan
-    remains for a single-sourced collection). *)
+    remains for a single-sourced collection). [available] as in
+    {!plan_of_variant}. *)
 
 val plan_query : ?objective:Optimizer.objective -> t -> string -> Plan.t * float
 (** Parse, resolve and optimize; returns the full plan and its estimated cost

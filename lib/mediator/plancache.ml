@@ -31,11 +31,23 @@ end)
    never evicts a re-added entry out of insertion order. *)
 type entry = { cost : float; generation : int; stamp : int }
 
-type counters = {
+(* the live counters, mutated under [t.lock] *)
+type live = {
   mutable hits : int;
   mutable misses : int;       (* includes stale lookups *)
   mutable stale : int;        (* entries dropped because the model changed *)
   mutable evictions : int;    (* entries dropped by the capacity bound *)
+}
+
+(* what callers see: an immutable snapshot taken in one critical section,
+   so continuously polling consumers (metrics endpoints, the CLI) can never
+   observe a torn state where hits + misses ≠ lookups *)
+type counters = {
+  hits : int;
+  misses : int;
+  stale : int;
+  evictions : int;
+  entries : int;  (* table size at snapshot time *)
 }
 
 type t = {
@@ -43,7 +55,7 @@ type t = {
   table : entry Tbl.t;
   (* insertion order; each element is one stamped occurrence of a key *)
   order : ((Disco_costlang.Ast.cost_var * Plan.t) * int) Queue.t;
-  counters : counters;
+  counters : live;
   mutable tick : int;  (* stamp generator *)
   (* one lock over table + queue + counters + tick: every operation is a
      short critical section (hash probe, queue pop, counter bump — no
@@ -61,7 +73,13 @@ let create ?(capacity = 4096) () =
     tick = 0;
     lock = Mutex.create () }
 
-let counters t = t.counters
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.counters.hits;
+        misses = t.counters.misses;
+        stale = t.counters.stale;
+        evictions = t.counters.evictions;
+        entries = Tbl.length t.table })
 
 let size t = Mutex.protect t.lock (fun () -> Tbl.length t.table)
 
@@ -118,6 +136,6 @@ let add t registry ~objective plan cost =
           { cost; generation = Registry.generation registry; stamp = t.tick })
 
 let pp_counters ppf t =
-  Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d"
-    t.counters.hits t.counters.misses t.counters.stale t.counters.evictions
-    (size t)
+  let c = counters t in
+  Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d" c.hits
+    c.misses c.stale c.evictions c.entries

@@ -14,12 +14,16 @@ open Disco_core
 
 type t
 
-(** Hit/miss/eviction counters, exposed for the CLI and the cache bench. *)
+(** Hit/miss/eviction counters, exposed for the CLI, the cache bench and
+    the server's metrics endpoint. An immutable snapshot taken in one
+    critical section: [hits + misses] always equals the lookups performed
+    before the snapshot, even under concurrent traffic. *)
 type counters = {
-  mutable hits : int;
-  mutable misses : int;     (** includes stale lookups *)
-  mutable stale : int;      (** entries dropped because the model changed *)
-  mutable evictions : int;  (** entries dropped by the capacity bound *)
+  hits : int;
+  misses : int;     (** includes stale lookups *)
+  stale : int;      (** entries dropped because the model changed *)
+  evictions : int;  (** entries dropped by the capacity bound *)
+  entries : int;    (** table size at snapshot time *)
 }
 
 val create : ?capacity:int -> unit -> t
@@ -35,6 +39,7 @@ val add : t -> Registry.t -> objective:Disco_costlang.Ast.cost_var -> Plan.t -> 
     evicting the oldest entries if the capacity is reached. *)
 
 val counters : t -> counters
+(** A consistent snapshot of the counters, taken under the cache lock. *)
 
 val size : t -> int
 

@@ -1,0 +1,29 @@
+(** Bounded admission queue — the server's backpressure point.
+
+    {!try_push} never blocks: at depth, the job is refused immediately so
+    the client sees a structured rejection instead of unbounded queueing
+    delay. {!pop} blocks for work; after {!close} it drains the remaining
+    jobs, then reports exhaustion with [None]. *)
+
+type 'a t
+
+val create : depth:int -> 'a t
+(** Clamped to depth ≥ 1. *)
+
+val depth : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed (counted as a rejection). *)
+
+val pop : 'a t -> 'a option
+(** Blocks until a job is available; [None] once closed and drained. *)
+
+val close : 'a t -> unit
+(** Refuse new work and wake all poppers. Idempotent. *)
+
+val length : 'a t -> int
+
+(** Immutable counter snapshot; [pushed - popped] jobs are queued. *)
+type counters = { pushed : int; rejected : int; popped : int }
+
+val counters : 'a t -> counters

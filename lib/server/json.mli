@@ -1,0 +1,33 @@
+(** Minimal JSON values for the server's line-delimited protocol: printer
+    and parser, no external dependency. Floats print with ["%.17g"], so a
+    value round-trips bit-identically through the wire; NaN and infinities
+    (unrepresentable in JSON) print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One line, no pretty-printing (the protocol is line-delimited). *)
+
+val parse : string -> (t, string) result
+
+exception Parse_error of string
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} ([None] on wrong shape) *)
+
+val member : string -> t -> t option
+val string_member : string -> t -> string option
+
+val float_member : string -> t -> float option
+(** Accepts [Int] too (coerced). *)
+
+val int_member : string -> t -> int option

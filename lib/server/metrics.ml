@@ -1,0 +1,168 @@
+(* Server metrics: query counters and latency percentiles, one mutex, and
+   an immutable snapshot type — the same discipline as [Plancache.counters]
+   and [Health.report], so a metrics endpoint polled continuously can never
+   observe a torn state (e.g. a query counted admitted but neither
+   completed nor in flight after it finished).
+
+   The accounting identity the serve-loop tests assert, exactly:
+
+     received = admitted + rejected_queue
+     admitted = completed + degraded + failed + rejected_deadline + in_flight
+
+   Latencies are wall-clock ms from request receipt to response write,
+   recorded for every admitted query that produced a response. The buffer
+   is capped: beyond [latency_capacity] samples, a simple decimating
+   reservoir keeps every other sample — percentiles stay representative
+   while memory stays bounded on a long-running server. *)
+
+type t = {
+  lock : Mutex.t;
+  started_at : float;  (* Unix time, for uptime *)
+  mutable received : int;
+  mutable admitted : int;
+  mutable rejected_queue : int;
+  mutable rejected_deadline : int;
+  mutable completed : int;
+  mutable degraded : int;
+  mutable failed : int;
+  mutable latencies : float array;  (* ms; grows doubling up to capacity *)
+  mutable nlat : int;
+  mutable decimation : int;  (* record every 2^k-th sample once saturated *)
+  mutable skip : int;
+  latency_capacity : int;
+}
+
+type snapshot = {
+  uptime_s : float;
+  received : int;
+  admitted : int;
+  rejected_queue : int;
+  rejected_deadline : int;
+  completed : int;
+  degraded : int;
+  failed : int;
+  in_flight : int;
+  samples : int;     (** latency samples the percentiles are computed from *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let create ?(latency_capacity = 65_536) () =
+  { lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    received = 0;
+    admitted = 0;
+    rejected_queue = 0;
+    rejected_deadline = 0;
+    completed = 0;
+    degraded = 0;
+    failed = 0;
+    latencies = Array.make 1024 0.;
+    nlat = 0;
+    decimation = 0;
+    skip = 0;
+    latency_capacity = max 1024 latency_capacity }
+
+let on_received t = Mutex.protect t.lock (fun () -> t.received <- t.received + 1)
+let on_admitted t = Mutex.protect t.lock (fun () -> t.admitted <- t.admitted + 1)
+
+let on_rejected_queue t =
+  Mutex.protect t.lock (fun () -> t.rejected_queue <- t.rejected_queue + 1)
+
+let on_rejected_deadline t =
+  Mutex.protect t.lock (fun () -> t.rejected_deadline <- t.rejected_deadline + 1)
+
+(* caller holds the lock *)
+let record_latency t ms =
+  if t.skip > 0 then t.skip <- t.skip - 1
+  else begin
+    (if t.nlat = Array.length t.latencies then
+       if t.nlat < t.latency_capacity then begin
+         let bigger = Array.make (2 * t.nlat) 0. in
+         Array.blit t.latencies 0 bigger 0 t.nlat;
+         t.latencies <- bigger
+       end
+       else begin
+         (* saturated: drop every other retained sample and double the
+            decimation stride for future ones *)
+         let kept = Array.make t.latency_capacity 0. in
+         let k = ref 0 in
+         for i = 0 to t.nlat - 1 do
+           if i mod 2 = 0 then begin
+             kept.(!k) <- t.latencies.(i);
+             incr k
+           end
+         done;
+         t.latencies <- kept;
+         t.nlat <- !k;
+         t.decimation <- (2 * max 1 t.decimation)
+       end);
+    t.latencies.(t.nlat) <- ms;
+    t.nlat <- t.nlat + 1;
+    t.skip <- max 0 (t.decimation - 1)
+  end
+
+let on_completed t ~latency_ms =
+  Mutex.protect t.lock (fun () ->
+      t.completed <- t.completed + 1;
+      record_latency t latency_ms)
+
+let on_degraded t ~latency_ms =
+  Mutex.protect t.lock (fun () ->
+      t.degraded <- t.degraded + 1;
+      record_latency t latency_ms)
+
+let on_failed t ~latency_ms =
+  Mutex.protect t.lock (fun () ->
+      t.failed <- t.failed + 1;
+      record_latency t latency_ms)
+
+(* Nearest-rank percentile over a sorted copy of the samples. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) rank))
+
+let snapshot t =
+  Mutex.protect t.lock (fun () ->
+      let sorted = Array.sub t.latencies 0 t.nlat in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      { uptime_s = Unix.gettimeofday () -. t.started_at;
+        received = t.received;
+        admitted = t.admitted;
+        rejected_queue = t.rejected_queue;
+        rejected_deadline = t.rejected_deadline;
+        completed = t.completed;
+        degraded = t.degraded;
+        failed = t.failed;
+        in_flight =
+          t.admitted - t.completed - t.degraded - t.failed - t.rejected_deadline;
+        samples = n;
+        p50_ms = percentile sorted 0.50;
+        p95_ms = percentile sorted 0.95;
+        p99_ms = percentile sorted 0.99;
+        max_ms = (if n = 0 then 0. else sorted.(n - 1)) })
+
+let to_json (s : snapshot) : Json.t =
+  Json.Obj
+    [ ("uptime_s", Json.Float s.uptime_s);
+      ("received", Json.Int s.received);
+      ("admitted", Json.Int s.admitted);
+      ("rejected_queue", Json.Int s.rejected_queue);
+      ("rejected_deadline", Json.Int s.rejected_deadline);
+      ("completed", Json.Int s.completed);
+      ("degraded", Json.Int s.degraded);
+      ("failed", Json.Int s.failed);
+      ("in_flight", Json.Int s.in_flight);
+      ("latency",
+       Json.Obj
+         [ ("samples", Json.Int s.samples);
+           ("p50_ms", Json.Float s.p50_ms);
+           ("p95_ms", Json.Float s.p95_ms);
+           ("p99_ms", Json.Float s.p99_ms);
+           ("max_ms", Json.Float s.max_ms) ]) ]

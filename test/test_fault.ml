@@ -242,6 +242,124 @@ let test_half_open_probe_recovers () =
   Alcotest.(check bool) "circuit closed again" true
     (Health.state (Mediator.health med) "web" = Health.Closed)
 
+(* --- Probe admission under concurrency (regression) ----------------------------- *)
+
+(* Hammer [Health.available] from [n] domains at the same instant and count
+   how many are admitted. The probe storm bug: every concurrent caller that
+   saw an elapsed cooldown flipped the circuit half-open and proceeded, so
+   a recovering source was hit by a whole fleet of "single" probes. *)
+let hammer_available ?(n = 8) h ~now source =
+  let go = Atomic.make false in
+  let workers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            Health.available h ~now source))
+  in
+  Atomic.set go true;
+  let admitted = List.map Domain.join workers in
+  List.length (List.filter Fun.id admitted)
+
+let probes_of h source =
+  match List.find_opt (fun r -> r.Health.source = source) (Health.report h) with
+  | Some r -> r.Health.probed
+  | None -> 0
+
+let test_probe_single_admission () =
+  let policy =
+    { Health.default_policy with
+      Health.breaker_threshold = 1;
+      breaker_cooldown_ms = 1_000. }
+  in
+  let h = Health.create ~policy () in
+  Health.on_failure h ~now:0. "web" ~reason:"stall";
+  Alcotest.(check bool) "circuit open" true
+    (match Health.state h "web" with Health.Open _ -> true | _ -> false);
+  (* cooldown not yet elapsed: nobody gets in *)
+  Alcotest.(check int) "all refused before the cooldown" 0
+    (hammer_available h ~now:500. "web");
+  (* cooldown elapsed: exactly one concurrent caller wins the probe *)
+  Alcotest.(check int) "exactly one admission" 1
+    (hammer_available h ~now:2_000. "web");
+  Alcotest.(check int) "exactly one probe counted" 1 (probes_of h "web");
+  Alcotest.(check bool) "probe in flight" true
+    (Health.state h "web" = Health.Half_open { probing = true });
+  (* and while that probe is unsettled, a second hammer is shut out *)
+  Alcotest.(check int) "no admission while probing" 0
+    (hammer_available h ~now:2_500. "web");
+  Alcotest.(check int) "probe count unchanged" 1 (probes_of h "web")
+
+(* The full transition cycle under the same concurrent hammer —
+   closed → open → half-open → closed, then open → half-open → reopen —
+   with exact probe/failure accounting at every step. *)
+let test_breaker_transition_hammer () =
+  let policy =
+    { Health.default_policy with
+      Health.breaker_threshold = 2;
+      breaker_cooldown_ms = 1_000. }
+  in
+  let h = Health.create ~policy () in
+  (* closed: everyone may plan against the source *)
+  Alcotest.(check int) "closed admits all" 8 (hammer_available h ~now:0. "web");
+  Health.on_failure h ~now:0. "web" ~reason:"stall";
+  Alcotest.(check bool) "below threshold stays closed" true
+    (Health.state h "web" = Health.Closed);
+  Health.on_failure h ~now:10. "web" ~reason:"stall";
+  Alcotest.(check bool) "threshold opens" true
+    (match Health.state h "web" with Health.Open _ -> true | _ -> false);
+  Alcotest.(check int) "open refuses all" 0 (hammer_available h ~now:500. "web");
+  (* cooldown elapses; one probe wins and succeeds: closed again *)
+  Alcotest.(check int) "one probe after cooldown" 1
+    (hammer_available h ~now:1_500. "web");
+  Health.on_success h "web";
+  Alcotest.(check bool) "successful probe closes" true
+    (Health.state h "web" = Health.Closed);
+  (* open it again; this time the probe fails: straight back to open *)
+  Health.on_failure h ~now:2_000. "web" ~reason:"stall";
+  Health.on_failure h ~now:2_010. "web" ~reason:"stall";
+  Alcotest.(check int) "one probe after second cooldown" 1
+    (hammer_available h ~now:4_000. "web");
+  Health.on_failure h ~now:4_000. "web" ~reason:"stall";
+  Alcotest.(check bool) "failed probe reopens" true
+    (match Health.state h "web" with Health.Open _ -> true | _ -> false);
+  Alcotest.(check int) "reopened circuit refuses all" 0
+    (hammer_available h ~now:4_500. "web");
+  (* exact accounting across the whole cycle *)
+  (match List.find_opt (fun r -> r.Health.source = "web") (Health.report h) with
+   | None -> Alcotest.fail "web untracked"
+   | Some r ->
+     Alcotest.(check int) "probes admitted" 2 r.Health.probed;
+     Alcotest.(check int) "failures counted" 5 r.Health.failed;
+     Alcotest.(check int) "successes counted" 1 r.Health.ok)
+
+(* A probe admission returned via [release_probe] (the winning query died
+   between planning and submit) immediately re-opens admission for one new
+   probe — and the lost-probe cooldown is the backstop when nobody calls
+   it. *)
+let test_probe_release_and_loss () =
+  let policy =
+    { Health.default_policy with
+      Health.breaker_threshold = 1;
+      breaker_cooldown_ms = 1_000. }
+  in
+  let h = Health.create ~policy () in
+  Health.on_failure h ~now:0. "web" ~reason:"stall";
+  Alcotest.(check int) "probe admitted" 1 (hammer_available h ~now:1_500. "web");
+  Health.release_probe h "web";
+  Alcotest.(check bool) "released, none in flight" true
+    (Health.state h "web" = Health.Half_open { probing = false });
+  Alcotest.(check int) "released admission is re-won by exactly one" 1
+    (hammer_available h ~now:1_500. "web");
+  (* the second admission is never settled or released: after a further
+     cooldown it is presumed lost and a new probe is admitted *)
+  Alcotest.(check int) "unsettled probe blocks" 0
+    (hammer_available h ~now:2_000. "web");
+  Alcotest.(check int) "presumed lost after a cooldown" 1
+    (hammer_available h ~now:3_000. "web");
+  Alcotest.(check int) "three probes accounted" 3 (probes_of h "web")
+
 (* --- History feedback ----------------------------------------------------------- *)
 
 (* Retry/spike latency is charged to the measured TotalTime fed into the
@@ -275,5 +393,11 @@ let () =
         [ Alcotest.test_case "retry then replan" `Quick test_retry_then_replan_recovers;
           Alcotest.test_case "breaker opens, degrades" `Quick test_breaker_opens_and_degrades;
           Alcotest.test_case "half-open probe" `Quick test_half_open_probe_recovers ] );
+      ( "probe admission",
+        [ Alcotest.test_case "single admission under hammer" `Quick
+            test_probe_single_admission;
+          Alcotest.test_case "transition hammer" `Quick
+            test_breaker_transition_hammer;
+          Alcotest.test_case "release and loss" `Quick test_probe_release_and_loss ] );
       ( "history",
         [ Alcotest.test_case "adjust feedback" `Quick test_adjust_feedback_inflates ] ) ]

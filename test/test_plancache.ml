@@ -237,6 +237,66 @@ let prop_cache_model =
 
 (* --- Concurrency ----------------------------------------------------------------- *)
 
+(* Regression: [Plancache.counters] used to hand back the cache's live
+   mutable record, so a monitoring reader saw the fields keep moving after
+   the call — and, polled concurrently, torn combinations like
+   [hits + misses <> lookups]. A snapshot must be a frozen copy taken in
+   one critical section. *)
+let test_counters_snapshot_frozen () =
+  let registry = fresh_registry () in
+  let cache = Plancache.create ~capacity:8 () in
+  for k = 0 to 5 do
+    ignore
+      (Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan k));
+    Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan k) 1.
+  done;
+  let snap = Plancache.counters cache in
+  let before = (snap.Plancache.hits, snap.Plancache.misses) in
+  (* churn after the snapshot: hits and misses both move *)
+  for k = 0 to 5 do
+    ignore
+      (Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan k))
+  done;
+  Alcotest.(check (pair int int))
+    "a snapshot is frozen, not a window onto live counters" before
+    (snap.Plancache.hits, snap.Plancache.misses);
+  Alcotest.(check bool) "and the live counters did move" true
+    (Plancache.counters cache <> snap)
+
+let test_counters_never_torn_under_polling () =
+  let registry = fresh_registry () in
+  let cache = Plancache.create ~capacity:8 () in
+  let lookups = 4_000 in
+  let done_ = Atomic.make false in
+  let writer () =
+    for k = 1 to lookups do
+      let key = k mod 24 in
+      ignore
+        (Plancache.find cache registry ~objective:Ast.Total_time (dummy_plan key));
+      Plancache.add cache registry ~objective:Ast.Total_time (dummy_plan key) 1.
+    done;
+    Atomic.set done_ true
+  in
+  (* each reader polls snapshots while the writer churns: the accounted
+     lookup total must never exceed the work issued and never go backwards *)
+  let reader () =
+    let torn = ref 0 and last = ref 0 in
+    while not (Atomic.get done_) do
+      let c = Plancache.counters cache in
+      let sum = c.Plancache.hits + c.Plancache.misses in
+      if sum < !last || sum > lookups then incr torn;
+      last := sum
+    done;
+    !torn
+  in
+  let readers = List.init 3 (fun _ -> Domain.spawn reader) in
+  writer ();
+  let torn = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  Alcotest.(check int) "no torn snapshot observed" 0 torn;
+  let c = Plancache.counters cache in
+  Alcotest.(check int) "final accounting exact" lookups
+    (c.Plancache.hits + c.Plancache.misses)
+
 (* Multi-domain hammer: the parallel plan search and scatter-gather paths hit
    one shared cache from every pool slot, so its single lock must keep the
    counters exact, the capacity bound tight and the generation stamp
@@ -493,6 +553,10 @@ let () =
         [ Alcotest.test_case "fifo eviction" `Quick test_fifo_eviction;
           Alcotest.test_case "churn re-add" `Quick test_churn_readd_survives;
           Alcotest.test_case "multi-domain hammer" `Quick test_multi_domain_hammer;
+          Alcotest.test_case "counters snapshot frozen" `Quick
+            test_counters_snapshot_frozen;
+          Alcotest.test_case "counters never torn" `Quick
+            test_counters_never_torn_under_polling;
           QCheck_alcotest.to_alcotest prop_cache_model;
           Alcotest.test_case "objective keys" `Quick test_objectives_are_distinct_keys ] );
       ( "invalidation",

@@ -1,0 +1,545 @@
+(* The federation server, bottom up: the JSON codec, the bounded admission
+   queue and the metrics registry as units (counter exactness under
+   concurrent hammering included), then the serve loop end to end over a
+   unix socket — differential row identity against one-shot runs,
+   concurrent multi-tenant clients with exact admission/rejection
+   accounting, deterministic deadline rejections, snapshot warm restarts,
+   and the HTTP-ish observability endpoints. *)
+
+open Disco_core
+open Disco_wrapper
+open Disco_mediator
+open Disco_server
+
+let bits = Int64.bits_of_float
+
+(* --- fixtures ------------------------------------------------------------------- *)
+
+let make_mediator ?(history = History.Off) () =
+  let med = Mediator.create ~history_mode:history () in
+  List.iter (Mediator.register med) (Demo.make ~sizes:Demo.small_sizes ());
+  med
+
+let fresh_socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "disco-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?history ?(queue_depth = 64) ?(workers = 2) ?default_deadline_ms
+    ?snapshot_path ?(snapshot_every = 0) f =
+  let med = make_mediator ?history () in
+  let addr = Server.Unix_socket (fresh_socket_path ()) in
+  let config =
+    { Server.addr;
+      queue_depth;
+      workers;
+      default_deadline_ms;
+      snapshot_path;
+      snapshot_every }
+  in
+  let srv = Server.create ~config med in
+  Server.start srv;
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv addr med)
+
+let queries =
+  [ "select e.name from Employee e where e.salary > 20000";
+    "select e.id from Employee e, Department d where e.dept_id = d.id and \
+     d.budget > 100000";
+    "select l.id from Listing l where l.rating >= 2" ]
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string j)
+
+let status j =
+  match Json.string_member "status" j with
+  | Some s -> s
+  | None -> Alcotest.failf "no status in %s" (Json.to_string j)
+
+let int_field name j =
+  match Json.int_member name j with
+  | Some i -> i
+  | None -> Alcotest.failf "no int %S in %s" name (Json.to_string j)
+
+(* --- json ------------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.String "a\"b\\c\nd\te\x01f");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 0.1);
+        ("tiny", Json.Float 5e-324);
+        ("neg", Json.Float (-1.5));
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+        ("o", Json.Obj [ ("nested", Json.List []) ]) ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok v' ->
+    Alcotest.(check string) "roundtrip preserves structure" (Json.to_string v)
+      (Json.to_string v');
+    (* %.17g keeps float bits exactly *)
+    (match (Json.float_member "f" v', Json.float_member "tiny" v') with
+     | Some f, Some tiny ->
+       Alcotest.(check int64) "0.1 bits" (bits 0.1) (bits f);
+       Alcotest.(check int64) "denormal bits" (bits 5e-324) (bits tiny)
+     | _ -> Alcotest.fail "float members lost")
+
+let test_json_unicode_and_errors () =
+  (match Json.parse {|{"u":"café ✓"}|} with
+   | Ok j ->
+     Alcotest.(check (option string)) "escapes decode to UTF-8"
+       (Some "caf\xc3\xa9 \xe2\x9c\x93") (Json.string_member "u" j)
+   | Error e -> Alcotest.failf "unicode parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed json %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,"; {|{"a":}|}; "tru"; {|"unterminated|}; "1 2" ]
+
+(* --- admission ------------------------------------------------------------------- *)
+
+let test_admission_bounds_and_order () =
+  let q = Admission.create ~depth:3 in
+  Alcotest.(check int) "depth clamps up from zero" 1
+    (Admission.depth (Admission.create ~depth:0));
+  List.iter
+    (fun i -> Alcotest.(check bool) "within depth" true (Admission.try_push q i))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "fourth refused" false (Admission.try_push q 4);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Admission.pop q);
+  Alcotest.(check bool) "slot freed" true (Admission.try_push q 5);
+  Admission.close q;
+  Alcotest.(check bool) "closed refuses" false (Admission.try_push q 6);
+  Alcotest.(check (option int)) "drains after close" (Some 2) (Admission.pop q);
+  Alcotest.(check (option int)) "drains after close" (Some 3) (Admission.pop q);
+  Alcotest.(check (option int)) "drains after close" (Some 5) (Admission.pop q);
+  Alcotest.(check (option int)) "then exhausted" None (Admission.pop q);
+  let c = Admission.counters q in
+  Alcotest.(check int) "pushed" 4 c.Admission.pushed;
+  Alcotest.(check int) "rejected" 2 c.Admission.rejected;
+  Alcotest.(check int) "popped" 4 c.Admission.popped
+
+(* 8 domains flood a bounded queue with no consumer: exactly [depth] pushes
+   can win, every other attempt must be counted rejected — no lost or
+   double-counted admissions under contention. *)
+let test_admission_concurrent_flood () =
+  let depth = 16 and domains = 8 and per = 100 in
+  let q = Admission.create ~depth in
+  let go = Atomic.make false in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            let won = ref 0 in
+            for i = 1 to per do
+              if Admission.try_push q ((d * per) + i) then incr won
+            done;
+            !won))
+  in
+  Atomic.set go true;
+  let won = List.fold_left (fun acc d -> acc + Domain.join d) 0 workers in
+  Alcotest.(check int) "exactly depth admissions" depth won;
+  let c = Admission.counters q in
+  Alcotest.(check int) "pushed = winners" depth c.Admission.pushed;
+  Alcotest.(check int) "every loser rejected"
+    ((domains * per) - depth)
+    c.Admission.rejected;
+  let drained = ref 0 in
+  Admission.close q;
+  let rec drain () =
+    match Admission.pop q with
+    | Some _ ->
+      incr drained;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "nothing lost in the queue" depth !drained
+
+(* --- metrics --------------------------------------------------------------------- *)
+
+let test_metrics_invariants () =
+  let m = Metrics.create () in
+  for _ = 1 to 10 do
+    Metrics.on_received m
+  done;
+  for _ = 1 to 8 do
+    Metrics.on_admitted m
+  done;
+  Metrics.on_rejected_queue m;
+  Metrics.on_rejected_queue m;
+  List.iteri
+    (fun i f -> f m ~latency_ms:(float_of_int (i + 1)))
+    [ Metrics.on_completed; Metrics.on_completed; Metrics.on_completed;
+      Metrics.on_completed; Metrics.on_degraded; Metrics.on_failed ];
+  Metrics.on_rejected_deadline m;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "received partitions" s.Metrics.received
+    (s.Metrics.admitted + s.Metrics.rejected_queue);
+  Alcotest.(check int) "admitted partitions" s.Metrics.admitted
+    (s.Metrics.completed + s.Metrics.degraded + s.Metrics.failed
+    + s.Metrics.rejected_deadline + s.Metrics.in_flight);
+  Alcotest.(check int) "one in flight" 1 s.Metrics.in_flight;
+  Alcotest.(check int) "six samples" 6 s.Metrics.samples;
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Metrics.p50_ms <= s.Metrics.p95_ms
+    && s.Metrics.p95_ms <= s.Metrics.p99_ms
+    && s.Metrics.p99_ms <= s.Metrics.max_ms);
+  Alcotest.(check (float 1e-9)) "max" 6. s.Metrics.max_ms
+
+let test_metrics_reservoir_bounded () =
+  (* capacity floors at 1024 (the initial buffer) *)
+  let m = Metrics.create ~latency_capacity:1024 () in
+  for i = 1 to 10_000 do
+    Metrics.on_received m;
+    Metrics.on_admitted m;
+    Metrics.on_completed m ~latency_ms:(float_of_int i)
+  done;
+  let s = Metrics.snapshot m in
+  Alcotest.(check bool) "samples bounded by capacity" true
+    (s.Metrics.samples <= 1024 && s.Metrics.samples > 0);
+  Alcotest.(check int) "counts still exact" 10_000 s.Metrics.completed;
+  Alcotest.(check bool) "percentiles in range" true
+    (s.Metrics.p50_ms >= 1. && s.Metrics.p99_ms <= 10_000.)
+
+(* --- serve loop: differential identity ------------------------------------------- *)
+
+(* The server's answers must be bit-identical to one-shot runs: same rows
+   in the same order (same JSON rendering) and the same measured cost
+   vector, because execution is serialized over the same deterministic
+   mediator construction. *)
+let test_serve_differential_identity () =
+  let reference = make_mediator () in
+  with_server (fun _srv addr _med ->
+      let c = Client.connect_retry addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          List.iteri
+            (fun i sql ->
+              let resp = Client.query ~id:(Json.Int i) c sql in
+              Alcotest.(check string) "ok" "ok" (status resp);
+              let expected = Mediator.run_query reference sql in
+              let expected_rows =
+                Json.List
+                  (List.map Protocol.json_of_tuple expected.Mediator.rows)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "rows of %S bit-identical" sql)
+                (Json.to_string expected_rows)
+                (Json.to_string (field "rows" resp));
+              Alcotest.(check int) "row_count"
+                (List.length expected.Mediator.rows)
+                (int_field "row_count" resp);
+              (match Json.float_member "measured_ms" resp with
+               | Some measured ->
+                 Alcotest.(check int64) "measured cost bits"
+                   (bits expected.Mediator.measured.Disco_exec.Run.total_time)
+                   (bits measured)
+               | None -> Alcotest.fail "no measured_ms"))
+            queries))
+
+(* --- serve loop: concurrent multi-tenant clients --------------------------------- *)
+
+let test_serve_concurrent_tenants () =
+  let reference = make_mediator () in
+  let expected =
+    List.map
+      (fun sql ->
+        let a = Mediator.run_query reference sql in
+        ( sql,
+          Json.to_string
+            (Json.List (List.map Protocol.json_of_tuple a.Mediator.rows)) ))
+      queries
+  in
+  let tenants = 6 and rounds = 2 in
+  with_server ~workers:4 (fun srv addr med ->
+      let mismatches = Array.make tenants 0 in
+      let failures = Array.make tenants 0 in
+      let threads =
+        List.init tenants (fun tn ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect_retry addr in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    for _ = 1 to rounds do
+                      List.iter
+                        (fun (sql, want) ->
+                          let resp =
+                            Client.query
+                              ~tenant:(Printf.sprintf "tenant-%d" tn) c sql
+                          in
+                          if status resp <> "ok" then
+                            failures.(tn) <- failures.(tn) + 1
+                          else if
+                            Json.to_string (field "rows" resp) <> want
+                          then mismatches.(tn) <- mismatches.(tn) + 1)
+                        expected
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let total a = Array.fold_left ( + ) 0 a in
+      Alcotest.(check int) "every query answered ok" 0 (total failures);
+      Alcotest.(check int)
+        "every answer bit-identical to the one-shot reference" 0
+        (total mismatches);
+      (* exact accounting: the server agrees with what the clients saw *)
+      let sent = tenants * rounds * List.length queries in
+      let s = Metrics.snapshot (Server.metrics srv) in
+      Alcotest.(check int) "received = sent" sent s.Metrics.received;
+      Alcotest.(check int) "all admitted" sent s.Metrics.admitted;
+      Alcotest.(check int) "all completed" sent s.Metrics.completed;
+      Alcotest.(check int) "none in flight" 0 s.Metrics.in_flight;
+      let a = Server.admission_counters srv in
+      Alcotest.(check int) "admission pushed" sent a.Admission.pushed;
+      Alcotest.(check int) "admission popped" sent a.Admission.popped;
+      Alcotest.(check int) "admission rejected" 0 a.Admission.rejected;
+      (* one history partition per tenant, each fed by its own traffic *)
+      let mj = Server.metrics_json srv in
+      let stats = field "stats" mj in
+      Alcotest.(check int) "one partition per tenant" tenants
+        (int_field "tenants" stats);
+      ignore med)
+
+(* --- serve loop: rejections ------------------------------------------------------ *)
+
+let test_serve_deadline_rejection () =
+  with_server (fun srv addr _med ->
+      let c = Client.connect_retry addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* a zero budget has always expired by dequeue time: rejected
+             deterministically, without execution *)
+          let resp =
+            Client.query ~id:(Json.Int 9) ~deadline_ms:0. c (List.hd queries)
+          in
+          Alcotest.(check string) "rejected" "rejected" (status resp);
+          Alcotest.(check (option string)) "reason" (Some "deadline")
+            (Json.string_member "reason" resp);
+          Alcotest.(check (option string)) "id echoed" None
+            (if Json.member "id" resp = Some (Json.Int 9) then None
+             else Some "id lost");
+          let s = Metrics.snapshot (Server.metrics srv) in
+          Alcotest.(check int) "counted as deadline rejection" 1
+            s.Metrics.rejected_deadline;
+          Alcotest.(check int) "not completed" 0 s.Metrics.completed;
+          (* the connection survives a rejection *)
+          let resp = Client.query c (List.hd queries) in
+          Alcotest.(check string) "next query fine" "ok" (status resp)))
+
+(* Flood a tiny server from concurrent clients. Whether any individual
+   push wins is timing-dependent; what must be exact is the accounting:
+   every request is answered, every answer is ok or queue_full, and the
+   server's counters match the clients' tallies precisely. *)
+let test_serve_backpressure_accounting () =
+  with_server ~queue_depth:1 ~workers:1 (fun srv addr _med ->
+      let clients = 8 and per = 15 in
+      let ok = Array.make clients 0 in
+      let rejected = Array.make clients 0 in
+      let other = Array.make clients 0 in
+      let threads =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                let c = Client.connect_retry addr in
+                Fun.protect
+                  ~finally:(fun () -> Client.close c)
+                  (fun () ->
+                    for _ = 1 to per do
+                      let resp = Client.query c (List.hd queries) in
+                      match
+                        (status resp, Json.string_member "reason" resp)
+                      with
+                      | "ok", _ -> ok.(i) <- ok.(i) + 1
+                      | "rejected", Some "queue_full" ->
+                        rejected.(i) <- rejected.(i) + 1
+                      | _ -> other.(i) <- other.(i) + 1
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let total a = Array.fold_left ( + ) 0 a in
+      let sent = clients * per in
+      Alcotest.(check int) "no unexpected statuses" 0 (total other);
+      Alcotest.(check int) "every request answered" sent
+        (total ok + total rejected);
+      let s = Metrics.snapshot (Server.metrics srv) in
+      Alcotest.(check int) "received = sent" sent s.Metrics.received;
+      Alcotest.(check int) "completions match client view" (total ok)
+        s.Metrics.completed;
+      Alcotest.(check int) "rejections match client view" (total rejected)
+        s.Metrics.rejected_queue;
+      Alcotest.(check int) "received partitions exactly" s.Metrics.received
+        (s.Metrics.admitted + s.Metrics.rejected_queue);
+      Alcotest.(check int) "none in flight at rest" 0 s.Metrics.in_flight;
+      let a = Server.admission_counters srv in
+      Alcotest.(check int) "admission rejections agree" (total rejected)
+        a.Admission.rejected)
+
+(* --- snapshot warm restart ------------------------------------------------------- *)
+
+let test_snapshot_warm_restart () =
+  let snap = Filename.temp_file "disco-snap" ".bin" in
+  Sys.remove snap;
+  let sources = [ "relstore"; "objstore"; "files"; "web" ] in
+  let adjusts1, clock1, records1 =
+    let result = ref (([] : (string * float) list), 0., 0) in
+    with_server ~history:(History.Adjust { smoothing = 0.6 }) ~snapshot_path:snap
+      (fun srv addr med ->
+        let c = Client.connect_retry addr in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            List.iter
+              (fun tenant ->
+                List.iter
+                  (fun sql ->
+                    Alcotest.(check string) "warmup ok" "ok"
+                      (status (Client.query ~tenant c sql)))
+                  queries)
+              [ "acme"; "globex" ];
+            (match Json.string_member "status" (Client.snapshot c) with
+             | Some "ok" -> ()
+             | _ -> Alcotest.fail "snapshot op failed");
+            let stats = field "stats" (Server.metrics_json srv) in
+            result :=
+              ( List.map
+                  (fun s ->
+                    (s, Registry.adjust (Mediator.registry med) ~source:s))
+                  sources,
+                Mediator.now med,
+                int_field "history_records" stats )));
+    !result
+  in
+  Alcotest.(check bool) "traffic trained the factors" true
+    (List.exists (fun (_, f) -> f <> 1.) adjusts1);
+  Alcotest.(check bool) "records were kept" true (records1 > 0);
+  (* a brand-new process: fresh mediator, same snapshot path *)
+  with_server ~history:(History.Adjust { smoothing = 0.6 }) ~snapshot_path:snap
+    (fun srv addr med ->
+      List.iter
+        (fun (s, f1) ->
+          Alcotest.(check int64)
+            (Printf.sprintf "adjust factor of %s restored exactly" s)
+            (bits f1)
+            (bits (Registry.adjust (Mediator.registry med) ~source:s)))
+        adjusts1;
+      Alcotest.(check int64) "simulated clock restored" (bits clock1)
+        (bits (Mediator.now med));
+      let stats = field "stats" (Server.metrics_json srv) in
+      Alcotest.(check int) "history records restored" records1
+        (int_field "history_records" stats);
+      Alcotest.(check int) "both tenants restored" 2 (int_field "tenants" stats);
+      (* and the warm server still answers *)
+      let c = Client.connect_retry addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Alcotest.(check string) "warm server serves" "ok"
+            (status (Client.query ~tenant:"acme" c (List.hd queries)))));
+  if Sys.file_exists snap then Sys.remove snap
+
+(* --- HTTP endpoints and lifecycle ------------------------------------------------ *)
+
+let http_get addr path =
+  let (Server.Unix_socket sock_path | Server.Tcp { host = sock_path; _ }) =
+    addr
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock_path);
+  let out = Printf.sprintf "GET %s HTTP/1.0\r\n" path in
+  ignore (Unix.write_substring fd out 0 (String.length out));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 1024 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      read_all ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  read_all ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let test_http_endpoints () =
+  with_server (fun _srv addr _med ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      let metrics = http_get addr "/metrics" in
+      Alcotest.(check bool) "200 with metrics body" true
+        (contains metrics "HTTP/1.0 200 OK" && contains metrics "\"admission\"");
+      let health = http_get addr "/health" in
+      Alcotest.(check bool) "200 with health body" true
+        (contains health "HTTP/1.0 200 OK" && contains health "\"sources\"");
+      let missing = http_get addr "/nope" in
+      Alcotest.(check bool) "404 otherwise" true
+        (contains missing "HTTP/1.0 404"))
+
+let test_shutdown_op () =
+  let med = make_mediator () in
+  let addr = Server.Unix_socket (fresh_socket_path ()) in
+  let srv = Server.create ~config:(Server.default_config addr) med in
+  Server.start srv;
+  let c = Client.connect_retry addr in
+  Alcotest.(check string) "shutdown acknowledged" "ok"
+    (status (Client.shutdown c));
+  Client.close c;
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Server.running srv && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  Alcotest.(check bool) "server stopped" false (Server.running srv);
+  (* idempotent: a second stop is a no-op *)
+  Server.stop srv
+
+let () =
+  Alcotest.run "server"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode + errors" `Quick
+            test_json_unicode_and_errors ] );
+      ( "admission",
+        [ Alcotest.test_case "bounds and order" `Quick
+            test_admission_bounds_and_order;
+          Alcotest.test_case "concurrent flood" `Quick
+            test_admission_concurrent_flood ] );
+      ( "metrics",
+        [ Alcotest.test_case "invariants" `Quick test_metrics_invariants;
+          Alcotest.test_case "reservoir bounded" `Quick
+            test_metrics_reservoir_bounded ] );
+      ( "serve",
+        [ Alcotest.test_case "differential identity" `Quick
+            test_serve_differential_identity;
+          Alcotest.test_case "concurrent tenants" `Quick
+            test_serve_concurrent_tenants;
+          Alcotest.test_case "deadline rejection" `Quick
+            test_serve_deadline_rejection;
+          Alcotest.test_case "backpressure accounting" `Quick
+            test_serve_backpressure_accounting ] );
+      ( "snapshot",
+        [ Alcotest.test_case "warm restart" `Quick test_snapshot_warm_restart ] );
+      ( "endpoints",
+        [ Alcotest.test_case "http" `Quick test_http_endpoints;
+          Alcotest.test_case "shutdown op" `Quick test_shutdown_op ] ) ]
