@@ -30,11 +30,13 @@
      serve  — the federation server under closed-loop multi-client load:
               QPS and latency percentiles per domain count, with exact
               client/server accounting and a warm-restart check
-              (--json=PATH as above) *)
+              (--json=PATH as above)
+     verify — whole-plan verification overhead on the warm plan-cache
+              query path, gated at 5% (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula"; "faults"; "parallel"; "batch"; "serve" ]
+    "formula"; "faults"; "parallel"; "batch"; "serve"; "verify" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -77,6 +79,7 @@ let () =
       | "parallel" -> Parallel.print ~smoke:small ?json_path ()
       | "batch" -> Batch_bench.print ~smoke:small ?json_path ()
       | "serve" -> Serve_bench.print ~smoke:small ?json_path ()
+      | "verify" -> Verify_bench.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

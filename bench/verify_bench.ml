@@ -1,0 +1,81 @@
+(* Verify bench — latency cost of whole-plan verification on the warm
+   plan-cache query path.
+
+   The same federation workload as cachebench, executed end to end through
+   [Mediator.run_query] with the plan cache warm, with and without
+   [~verify:true]. Verification on this path reuses the answer's own
+   estimation tree ([Planbound.check_ann]), so the expected overhead is the
+   two checker walks only; the acceptance gate holds it under 5%.
+
+   The differential assertion always runs: verified and unverified
+   executions return identical rows (verification is read-only). *)
+
+open Disco_wrapper
+open Disco_mediator
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let queries =
+  [ "select e.id from Employee e, Department d where e.dept_id = d.id \
+     and d.budget > 200000";
+    "select e.id from Employee e, Department d, Project p \
+     where e.dept_id = d.id and d.id = p.dept_id and e.salary > 20000";
+    "select t.id from Project p, Task t where t.project_id = p.id \
+     and p.cost < 50000";
+    "select e.name, d.city from Employee e, Department d \
+     where e.dept_id = d.id order by e.name" ]
+
+let print ?(smoke = false) ?json_path () =
+  Fmt.pr "== verify: whole-plan verification overhead (warm plan cache) ==@.";
+  let med = Mediator.create () in
+  List.iter (Mediator.register med) (Demo.make ~sizes:Demo.small_sizes ());
+  let run ~verify () =
+    List.iter (fun sql -> ignore (Mediator.run_query ~verify med sql)) queries
+  in
+  (* differential: identical answers, and every chosen plan verifies clean *)
+  List.iter
+    (fun sql ->
+      let plain = Mediator.run_query ~verify:false med sql in
+      let verified = Mediator.run_query ~verify:true med sql in
+      if plain.Mediator.rows <> verified.Mediator.rows then
+        Fmt.failwith "verifybench: %s: verification changed the answer" sql;
+      let errs =
+        Disco_analysis.Plancheck.errors
+          (Mediator.verify_plan med plain.Mediator.plan)
+      in
+      if errs <> [] then
+        Fmt.failwith "verifybench: %s: chosen plan has %d error finding(s)" sql
+          (List.length errs))
+    queries;
+  let iters = if smoke then 3 else 40 in
+  (* both loops run against the same warm cache; interleave a warmup first *)
+  run ~verify:false ();
+  run ~verify:true ();
+  let (), base = time (fun () -> for _ = 1 to iters do run ~verify:false () done) in
+  let (), with_verify =
+    time (fun () -> for _ = 1 to iters do run ~verify:true () done)
+  in
+  let per_query t = 1e6 *. t /. float_of_int (iters * List.length queries) in
+  let overhead = (with_verify -. base) /. base in
+  Fmt.pr "  %d queries x %d iters, warm cache@." (List.length queries) iters;
+  Fmt.pr "  plain     %8.1f us/query@." (per_query base);
+  Fmt.pr "  verified  %8.1f us/query@." (per_query with_verify);
+  Fmt.pr "  overhead  %8.2f%%@." (100. *. overhead);
+  let pc = Plancache.counters (Mediator.plancache med) in
+  Fmt.pr "  plancache: %d hits, %d misses, %d verify rejects@."
+    pc.Plancache.hits pc.Plancache.misses pc.Plancache.verify_rejects;
+  Util.bench_json ?json_path ~bench:"verify" ~domains:(Mediator.domains med)
+    [ Fmt.str {|"queries":%d|} (List.length queries);
+      Fmt.str {|"iters":%d|} iters;
+      Fmt.str {|"plain_us_per_query":%.3f|} (per_query base);
+      Fmt.str {|"verified_us_per_query":%.3f|} (per_query with_verify);
+      Fmt.str {|"overhead_pct":%.3f|} (100. *. overhead);
+      Fmt.str {|"verify_rejects":%d|} pc.Plancache.verify_rejects ];
+  (* smoke timings are too noisy to gate on a relative bound *)
+  if (not smoke) && overhead > 0.05 then
+    Fmt.failwith
+      "verifybench: verification overhead %.2f%% exceeds the 5%% budget"
+      (100. *. overhead)

@@ -289,23 +289,53 @@ let check_cmd =
 
 (* --- lint ------------------------------------------------------------------------ *)
 
-let lint_cmd =
-  let strict_arg =
-    let doc = "Exit non-zero when any error-severity finding is present." in
-    Arg.(value & flag & info [ "strict" ] ~doc)
+let strict_arg =
+  let doc = "Exit non-zero when any error-severity finding is present." in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let fail_on_arg =
+  let doc =
+    "Exit non-zero when a finding at $(docv) or above is present: \
+     $(b,error) fails on errors only, $(b,warning) also on warnings. \
+     Excluded (circuit-broken) sources never gate."
   in
+  Arg.(
+    value
+    & opt (some (enum [ ("error", `Error); ("warning", `Warning) ])) None
+    & info [ "fail-on" ] ~docv:"SEVERITY" ~doc)
+
+(* Shared gate for lint/verify: [--strict] and [--fail-on] apply to the
+   findings the optimizer can actually act on. *)
+let gate ~what ~strict ~fail_on ~nerrors ~nwarnings =
+  if strict && nerrors > 0 then
+    Fmt.failwith "%s failed: %d error-severity finding(s)" what nerrors;
+  match fail_on with
+  | Some `Error when nerrors > 0 ->
+    Fmt.failwith "%s failed (--fail-on error): %d error(s)" what nerrors
+  | Some `Warning when nerrors + nwarnings > 0 ->
+    Fmt.failwith "%s failed (--fail-on warning): %d error(s), %d warning(s)"
+      what nerrors nwarnings
+  | _ -> ()
+
+let lint_cmd =
   let json_arg =
     let doc = "Write the findings as a JSON array to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
   in
-  let run small seed no_rules strict json =
+  let run small seed no_rules strict fail_on json =
     handle (fun () ->
         let module A = Disco_analysis.Analyzer in
         (* the demo federation: generic model blended with the four wrapper
            exports (lint runs over every registered source, "default" and
-           "mediator" included) *)
+           "mediator" included). Findings of circuit-broken sources are
+           reported but tagged scope:excluded and never gate. *)
         let med, _ = make_mediator ~small ~seed ~history:"off" ~no_rules () in
-        let demo = A.analyze (Mediator.registry med) in
+        let breaker_open src =
+          match Health.state (Mediator.health med) src with
+          | Health.Open _ -> true
+          | Health.Closed | Health.Half_open _ -> false
+        in
+        let demo = A.analyze ~excluded:breaker_open (Mediator.registry med) in
         (* the oo7 example export, blended into its own fresh model *)
         let oo7 =
           let registry = Registry.create (Disco_catalog.Catalog.create ()) in
@@ -329,9 +359,10 @@ let lint_cmd =
            let oc = open_out path in
            output_string oc (A.to_json findings);
            close_out oc);
-        if strict && A.errors findings <> [] then
-          Fmt.failwith "lint failed: %d error-severity finding(s)"
-            (count A.Error))
+        let act = A.active findings in
+        gate ~what:"lint" ~strict ~fail_on
+          ~nerrors:(List.length (A.errors act))
+          ~nwarnings:(List.length (A.of_severity A.Warning act)))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -340,7 +371,96 @@ let lint_cmd =
           and the oo7 export: interval abstract interpretation (division by \
           zero, NaN, negative costs), rule shadowing and dead rules, \
           coverage of the five cost variables, and dependency cycles.")
-    Term.(const run $ small_arg $ seed_arg $ no_rules_arg $ strict_arg $ json_arg)
+    Term.(
+      const run $ small_arg $ seed_arg $ no_rules_arg $ strict_arg $ fail_on_arg
+      $ json_arg)
+
+(* --- verify ---------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let json_arg =
+    let doc = "Write the findings as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let run small seed no_rules stats strict fail_on json =
+    handle (fun () ->
+        let module PC = Disco_analysis.Plancheck in
+        let module PB = Disco_analysis.Planbound in
+        (* demo federation: optimize a representative query corpus and verify
+           every chosen plan — typed well-formedness plus estimate bounds *)
+        let med, _ = make_mediator ~stats ~small ~seed ~history:"off" ~no_rules () in
+        let corpus =
+          [ "select e.name from Employee e where e.salary > 5000";
+            "select e.name, e.age from Employee e where e.age >= 30 order by e.age";
+            "select e.name, d.city from Employee e, Department d \
+             where e.dept_id = d.id and d.budget > 100000";
+            "select p.id, t.hours from Project p, Task t \
+             where t.project_id = p.id order by t.hours";
+            "select d.id, count(*) as n from Employee e, Department d \
+             where e.dept_id = d.id group by d.id";
+            "select doc.doc_id from Document doc where doc.bytes > 1000";
+            "select l.rating, e.name from Listing l, Employee e where l.emp_id = e.id";
+            "select p.id, doc.doc_id from Project p, Document doc \
+             where doc.project_id = p.id and p.cost > 100" ]
+        in
+        let tag label fs =
+          List.map (fun f -> { f with PC.path = label ^ "/" ^ f.PC.path }) fs
+        in
+        let demo =
+          List.concat_map
+            (fun sql ->
+              let plan, _ = Mediator.plan_query med sql in
+              tag sql (Mediator.verify_plan med plan))
+            corpus
+        in
+        (* oo7: the example export's own query workload, verified as the
+           wrapper executes it (wrapper-side placement rules) *)
+        let config = Disco_oo7.Oo7.small_config in
+        let oo7 =
+          let registry = Registry.create (Disco_catalog.Catalog.create ()) in
+          Generic.register registry;
+          let src =
+            Disco_oo7.Oo7.make_source ~config ~with_rules:true ()
+          in
+          ignore
+            (Registry.register_source_decl registry (Wrapper.registration_decl src));
+          List.concat_map
+            (fun (label, plan) ->
+              tag ("oo7:" ^ label)
+                (PC.check ~ctx:(`Wrapper "oo7") registry plan
+                 @ PB.check ~source:"oo7" registry plan))
+            (Disco_oo7.Oo7.queries config)
+        in
+        let findings = demo @ oo7 in
+        List.iter (fun f -> Fmt.pr "%a@." PC.pp_finding f) findings;
+        let count s = List.length (PC.of_severity s findings) in
+        Fmt.pr
+          "-- verified %d demo plan(s), %d oo7 plan(s): %d finding(s) \
+           (%d error(s), %d warning(s), %d info)@."
+          (List.length corpus)
+          (List.length (Disco_oo7.Oo7.queries config))
+          (List.length findings) (count PC.Error) (count PC.Warning)
+          (count PC.Info);
+        (match json with
+         | None -> ()
+         | Some path ->
+           let oc = open_out path in
+           output_string oc (PC.to_json findings);
+           close_out oc);
+        gate ~what:"verify" ~strict ~fail_on ~nerrors:(count PC.Error)
+          ~nwarnings:(count PC.Warning))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify whole plans over the demo and oo7 federations: \
+          typed well-formedness of every optimizer-chosen plan (attribute \
+          binding, operand and join-key types, projection shape, placement \
+          and capabilities) plus interval cardinality/cost-bound validation \
+          of its estimates (NaN, negative, divergent, non-monotone).")
+    Term.(
+      const run $ small_arg $ seed_arg $ no_rules_arg $ stats_arg $ strict_arg
+      $ fail_on_arg $ json_arg)
 
 (* --- sources --------------------------------------------------------------------- *)
 
@@ -475,8 +595,16 @@ let serve_cmd =
     let doc = "Executed queries between periodic snapshots (0 disables)." in
     Arg.(value & opt int 32 & info [ "snapshot-every" ] ~docv:"N" ~doc)
   in
+  let no_verify_arg =
+    let doc =
+      "Disable whole-plan verification at query admission (on by default: \
+       an invalid chosen plan is rejected with a typed protocol error)."
+    in
+    Arg.(value & flag & info [ "no-verify" ] ~doc)
+  in
   let run small seed history no_rules no_cache stats fault domains engine
-      batch_size socket host port queue workers deadline snapshot snapshot_every =
+      batch_size socket host port queue workers deadline snapshot snapshot_every
+      no_verify =
     handle (fun () ->
         set_engine engine batch_size;
         let med, _ =
@@ -489,7 +617,8 @@ let serve_cmd =
             workers;
             default_deadline_ms = deadline;
             snapshot_path = snapshot;
-            snapshot_every }
+            snapshot_every;
+            verify = not no_verify }
         in
         let srv = Server.create ~config med in
         Server.start srv;
@@ -511,7 +640,7 @@ let serve_cmd =
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
       $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg
       $ socket_arg $ host_arg $ port_arg $ queue_arg $ workers_arg $ deadline_arg
-      $ snapshot_arg $ snapshot_every_arg)
+      $ snapshot_arg $ snapshot_every_arg $ no_verify_arg)
 
 let metrics_cmd =
   let json_flag =
@@ -641,5 +770,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ query_cmd; explain_cmd; analyze_cmd; registration_cmd; check_cmd;
-            lint_cmd; sources_cmd; health_cmd; serve_cmd; metrics_cmd;
+            lint_cmd; verify_cmd; sources_cmd; health_cmd; serve_cmd; metrics_cmd;
             fig12_cmd ]))

@@ -44,10 +44,12 @@ type finding = {
   where : string;      (* "rule scan(C)", "let AdtSel_match", ... *)
   loc : Ast.pos option;
   msg : string;
+  excluded : bool;     (* owning source is circuit-broken right now *)
 }
 
 let errors fs = List.filter (fun f -> f.severity = Error) fs
 let of_severity s fs = List.filter (fun f -> f.severity = s) fs
+let active fs = List.filter (fun f -> not f.excluded) fs
 
 let pp_finding ppf f =
   (match f.loc with
@@ -55,7 +57,8 @@ let pp_finding ppf f =
    | None -> ());
   Fmt.pf ppf "%s [%s] %s%a in %s: %s" (severity_name f.severity) f.tag f.source
     Fmt.(option (fun ppf s -> pf ppf "/%s" s))
-    f.operator f.where f.msg
+    f.operator f.where f.msg;
+  if f.excluded then Fmt.pf ppf " (scope:excluded)"
 
 (* --- Typed domains for rule-context references ---------------------------- *)
 
@@ -168,7 +171,7 @@ let body_pass reg (rule : Rule.t) (ast : Ast.rule) ~transform : finding list =
   let add ?loc severity tag msg =
     let f =
       { severity; tag; source; operator = Some operator;
-        scope = Some rule.Rule.scope; where; loc; msg }
+        scope = Some rule.Rule.scope; where; loc; msg; excluded = false }
     in
     if not (List.mem f !findings) then findings := f :: !findings
   in
@@ -261,7 +264,8 @@ let analyze_rule reg (rule : Rule.t) : finding list =
             msg =
               "the AST and optimized (bytecode) forms of this rule disagree \
                on lint verdicts — optimizer rewrites may not be \
-               observationally equivalent here" } ]
+               observationally equivalent here";
+            excluded = false } ]
     else raw
 
 (* --- ADT parameter ranges ------------------------------------------------- *)
@@ -285,7 +289,8 @@ let adt_let_findings reg ~source : finding list =
             { severity = Error; tag = "selectivity-range"; source;
               operator = None; scope = None; where = "let " ^ n; loc = None;
               msg =
-                Fmt.str "exported ADT selectivity is %g, outside [0, 1]" f }
+                Fmt.str "exported ADT selectivity is %g, outside [0, 1]" f;
+              excluded = false }
         | _ -> None
       else if has_prefix "AdtCost_" n then
         match value () with
@@ -293,7 +298,8 @@ let adt_let_findings reg ~source : finding list =
           Some
             { severity = Error; tag = "negative"; source; operator = None;
               scope = None; where = "let " ^ n; loc = None;
-              msg = Fmt.str "exported ADT cost is negative (%g)" f }
+              msg = Fmt.str "exported ADT cost is negative (%g)" f;
+              excluded = false }
         | _ -> None
       else None)
     (Registry.let_names reg ~source)
@@ -502,7 +508,7 @@ let analyze_chain reg ~source ~operator : finding list =
   let add ?loc ?rule_scope ~owner severity tag where msg =
     let f =
       { severity; tag; source = owner; operator = Some operator;
-        scope = rule_scope; where; loc; msg }
+        scope = rule_scope; where; loc; msg; excluded = false }
     in
     if not (List.mem f !findings) then findings := f :: !findings
   in
@@ -728,7 +734,13 @@ let dedup fs =
   List.rev
     (List.fold_left (fun acc f -> if List.mem f acc then acc else f :: acc) [] fs)
 
-let analyze_source reg ~source : finding list =
+(* Findings of a circuit-broken source are kept (the model is still
+   registered and will return once the breaker closes) but marked so lint
+   gates match what the optimizer can actually pick right now. *)
+let mark_excluded excluded fs =
+  List.map (fun f -> if excluded f.source then { f with excluded = true } else f) fs
+
+let analyze_source ?(excluded = fun _ -> false) reg ~source : finding list =
   let own =
     Registry.source_rules reg ~source
     |> List.filter (fun r -> Option.is_some (pattern_head r))
@@ -741,13 +753,15 @@ let analyze_source reg ~source : finding list =
   let chain_findings =
     List.concat_map (fun op -> analyze_chain reg ~source ~operator:op) ops
   in
-  dedup (rule_findings @ adt_let_findings reg ~source @ chain_findings)
+  mark_excluded excluded
+    (dedup (rule_findings @ adt_let_findings reg ~source @ chain_findings))
 
-let analyze reg : finding list =
-  dedup
-    (List.concat_map
-       (fun source -> analyze_source reg ~source)
-       (Registry.sources reg))
+let analyze ?(excluded = fun _ -> false) reg : finding list =
+  mark_excluded excluded
+    (dedup
+       (List.concat_map
+          (fun source -> analyze_source reg ~source)
+          (Registry.sources reg)))
 
 (* --- Reporting ------------------------------------------------------------ *)
 
@@ -784,6 +798,7 @@ let to_json (fs : finding list) : string =
            [ field "line" (string_of_int p.Ast.line);
              field "col" (string_of_int p.Ast.col) ]
          | None -> [])
+      @ (if f.excluded then [ field "excluded" "true" ] else [])
       @ [ str "msg" f.msg ]
     in
     "  {" ^ String.concat ", " fields ^ "}"

@@ -45,10 +45,19 @@ type finding = {
   where : string;  (** ["rule scan(C)"], ["let AdtSel_match"], ... *)
   loc : Ast.pos option;  (** lexer position, when the rule was parsed *)
   msg : string;
+  excluded : bool;
+      (** the owning source is circuit-broken (breaker open), so the
+          optimizer cannot pick its rules right now: the finding is
+          reported for completeness but tagged [scope:excluded] *)
 }
 
 val errors : finding list -> finding list
 val of_severity : severity -> finding list -> finding list
+
+val active : finding list -> finding list
+(** Findings whose source the optimizer can actually pick (not
+    [excluded]); strictness gates ([--strict], [--fail-on]) apply to
+    these. *)
 
 val analyze_rule : Registry.t -> Rule.t -> finding list
 (** Interval pass over one rule's body (both backends, verdicts
@@ -59,13 +68,14 @@ val analyze_chain : Registry.t -> source:string -> operator:string -> finding li
 (** Shadowing, ambiguity, coverage and cycle analysis of the merged
     (source + default) chain for one operator. *)
 
-val analyze_source : Registry.t -> source:string -> finding list
+val analyze_source : ?excluded:(string -> bool) -> Registry.t -> source:string -> finding list
 (** All passes for one source: its own rules, its ADT parameter ranges
     ([AdtSel_* ] in [[0,1]], [AdtCost_*] nonnegative), and the merged
     chain of every operator it exports rules for (every known operator
-    for the default source). *)
+    for the default source). [excluded] marks findings of circuit-broken
+    sources (default: none). *)
 
-val analyze : Registry.t -> finding list
+val analyze : ?excluded:(string -> bool) -> Registry.t -> finding list
 (** {!analyze_source} over every registered source, deduplicated. *)
 
 val pp_finding : Format.formatter -> finding -> unit

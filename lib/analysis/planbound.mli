@@ -1,0 +1,42 @@
+(** Interval propagation of cardinality and cost bounds through whole plans
+    (DESIGN.md §14).
+
+    {!Plancheck} proves a plan well-typed; this module proves its {e
+    estimates} structurally sane before execution. A bottom-up pass derives
+    a sound interval for each node's cardinality under any rule set whose
+    per-operator selectivities stay in [[0, 1]] (which {!Selest} clamps
+    enforce for every shipped model): scans are bounded by the catalog
+    extent, selections by their input, joins by the product, unions by the
+    sum, dedup/aggregate by [max 1 input]. Degenerate catalog statistics
+    taint the interval through the {!Interval.t} NaN flag, reusing the PR 4
+    abstract domain; attribute ranges come from the {!Derive} chain, i.e.
+    the histogram-clipped statistics of PR 6.
+
+    The concrete estimates ([CountObject], [TotalTime]) of every node are
+    then validated against the intervals: NaN, true infinities, negative
+    values, cardinalities above the bound, and monotonicity violations
+    (a filter exceeding its input) each produce a finding carrying the
+    provenance scope of the rule that supplied the bad value. Nodes priced
+    by query-scope (measured) rules are exempt from the formula-derived
+    bound — measured truth may legally contradict a formula's estimate of a
+    sibling — and report an [Info] deviation instead. *)
+
+open Disco_algebra
+open Disco_core
+
+type bound = { card : Interval.t; cost : Interval.t }
+(** [cost] is [[0, inf)] with the taint of its inputs: per-operator cost has
+    no useful structural upper bound, but its sign and taint do propagate. *)
+
+val bounds : ?source:string -> Registry.t -> Plan.t -> bound
+(** Root bound of a plan; [source] is the rule context (defaults to the
+    mediator, like {!Estimator.estimate}). *)
+
+val check_ann : Registry.t -> Estimator.ann -> Plancheck.finding list
+(** Validate an already-annotated plan — the warm path: [run_query] reuses
+    the answer's estimation tree, so verification adds no estimation pass.
+    Demands [CountObject] and [TotalTime] at every node (cached in the
+    annotation once computed). *)
+
+val check : ?source:string -> Registry.t -> Plan.t -> Plancheck.finding list
+(** [check_ann] over a freshly built annotation. *)

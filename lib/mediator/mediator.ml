@@ -15,6 +15,13 @@ open Disco_wrapper
 open Disco_fault
 open Disco_sql
 
+module Plan_tbl = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = Plan.equal_structural
+  let hash = Plan.hash
+end)
+
 type t = {
   catalog : Catalog.t;
   registry : Registry.t;
@@ -26,6 +33,11 @@ type t = {
      model as always. *)
   mutable history : History.t;
   plancache : Plancache.t;
+  (* plans already verified clean, stamped with the registry generation
+     they verified at: the warm query path under [~verify:true] skips the
+     checker walks for a plan it has already proven at the current model
+     (same contract as the plan cache's stamped entries). *)
+  verify_memo : int Plan_tbl.t;
   health : Health.t;
   (* simulated wall clock, in ms; advances only when submit traffic runs
      (wrapper work, communication, injected anomalies, retry backoff). The
@@ -94,11 +106,23 @@ let create ?backend ?calibration ?(history_mode = History.Off) ?(cache = true)
   let catalog = Catalog.create () in
   let registry = Registry.create ?backend catalog in
   Generic.register ?calibration registry;
+  (* Admission gate of the plan cache: structural well-formedness only
+     (Plancheck), placement-agnostic — optimizer DP candidates include
+     unwrapped wrapper-side trees. Bound validation (Planbound) re-enters
+     the estimator, which itself consults this cache, so it stays out of
+     the admission path and runs on chosen plans instead (run_query
+     ~verify / verify_plan). *)
+  let plancache =
+    Plancache.create
+      ~verify:(fun reg plan -> Disco_analysis.Plancheck.ok ~ctx:`Any reg plan)
+      ()
+  in
   let t =
     { catalog;
       registry;
       history = History.create ~mode:history_mode registry;
-      plancache = Plancache.create ();
+      plancache;
+      verify_memo = Plan_tbl.create 64;
       health = Health.create ?policy ();
       now = 0.;
       cache_enabled = cache;
@@ -167,11 +191,17 @@ let register t (w : Wrapper.t) =
    | `Off -> t.last_lint <- []
    | (`Warn | `Error) as mode ->
      let module A = Disco_analysis.Analyzer in
+     let breaker_open src =
+       match Health.state t.health src with
+       | Health.Open _ -> true
+       | Health.Closed | Health.Half_open _ -> false
+     in
      let findings =
-       A.analyze_source t.registry ~source:decl.Disco_costlang.Ast.source_name
+       A.analyze_source ~excluded:breaker_open t.registry
+         ~source:decl.Disco_costlang.Ast.source_name
      in
      t.last_lint <- findings;
-     (match mode, A.errors findings with
+     (match mode, A.errors (A.active findings) with
       | `Error, (err :: _ as errs) ->
         Registry.clear_source t.registry ~source:decl.Disco_costlang.Ast.source_name;
         raise
@@ -830,13 +860,62 @@ let unavailable_sources t =
    accumulated failures surface as a structured [Degraded] report. A query
    that needs an already-open source fails fast with
    [Err.Source_unavailable]. *)
-let run_query ?objective ?(max_replans = 2) t (text : string) : answer =
+exception Invalid_plan of Disco_analysis.Plancheck.finding list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_plan fs ->
+      Some
+        (Fmt.str "Invalid_plan: %a"
+           Fmt.(list ~sep:(any "; ") Disco_analysis.Plancheck.pp_finding)
+           fs)
+    | _ -> None)
+
+(* Whole-plan verification of a chosen plan: typed well-formedness
+   (Plancheck, mediator placement rules) plus, when [deep], estimate-bound
+   validation (Planbound). [ann] reuses an existing estimation tree so the
+   warm query path never pays a second estimation pass. *)
+let verify_chosen ?(deep = true) ?ann t plan =
+  let pc = Disco_analysis.Plancheck.check ~ctx:`Mediator t.registry plan in
+  let pb =
+    (* the bound pass presumes well-formedness (it annotates the plan
+       through the estimator, which resolves sources eagerly): skip it on
+       plans the typed checker already rejects *)
+    if (not deep) || Disco_analysis.Plancheck.errors pc <> [] then []
+    else
+      match ann with
+      | Some a -> Disco_analysis.Planbound.check_ann t.registry a
+      | None -> Disco_analysis.Planbound.check t.registry plan
+  in
+  pc @ pb
+
+let verify_plan ?deep t plan = verify_chosen ?deep t plan
+
+let run_query ?objective ?(max_replans = 2) ?(verify = false) t (text : string)
+    : answer =
   let q = Sql.parse text in
   let r = resolve t q in
   let rec go replans failures =
     match
       let plan, _ = best_plan ?objective t text in
       let estimate = Estimator.estimate t.registry plan in
+      (if verify then
+         let gen = Registry.generation t.registry in
+         match Plan_tbl.find_opt t.verify_memo plan with
+         | Some g when g = gen -> ()
+         | _ -> (
+           match
+             Disco_analysis.Plancheck.errors
+               (verify_chosen ~ann:estimate t plan)
+           with
+           | [] ->
+             (* generation-stamped positive cache; a model change bumps the
+                generation and forces re-verification (bounded like the
+                plan cache, cleared wholesale on overflow) *)
+             if Plan_tbl.length t.verify_memo >= 4096 then
+               Plan_tbl.reset t.verify_memo;
+             Plan_tbl.replace t.verify_memo plan gen
+           | errs -> raise (Invalid_plan errs)));
       let physical = to_physical t plan in
       let rows, measured = Run.measure (mediator_run_env t) physical in
       (plan, estimate, rows, measured)

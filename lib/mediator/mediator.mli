@@ -209,14 +209,29 @@ exception Degraded of report
 
 val pp_report : Format.formatter -> report -> unit
 
+exception Invalid_plan of Disco_analysis.Plancheck.finding list
+(** A chosen plan failed whole-plan verification (the [Error]-severity
+    findings). Raised by {!run_query} under [~verify:true]; the server
+    turns it into a typed protocol rejection. *)
+
+val verify_plan : ?deep:bool -> t -> Plan.t -> Disco_analysis.Plancheck.finding list
+(** Whole-plan verification of a mediator plan: typed well-formedness
+    ({!Disco_analysis.Plancheck}, mediator placement rules) plus — when
+    [deep], the default — cardinality/cost-bound validation of its
+    estimates ({!Disco_analysis.Planbound}). *)
+
 val run_query :
-  ?objective:Optimizer.objective -> ?max_replans:int -> t -> string -> answer
+  ?objective:Optimizer.objective -> ?max_replans:int -> ?verify:bool ->
+  t -> string -> answer
 (** The full query-processing phase of Fig 2, under the degradation
     contract: a submit that exhausts its retry budget triggers a replan (up
     to [max_replans], default 2) against the sources still healthy; when
     recovery is impossible the accumulated failures surface as {!Degraded}.
     A query needing an already-open source raises
-    [Disco_common.Err.Source_unavailable] directly. *)
+    [Disco_common.Err.Source_unavailable] directly. With [~verify:true]
+    (default false) the chosen plan is verified — reusing the answer's own
+    estimation tree, so no second estimation pass — and {!Invalid_plan}
+    raised before any execution. *)
 
 val explain : t -> string -> string
 (** The chosen plan plus per-node cost estimates annotated with the scope of

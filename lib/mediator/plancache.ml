@@ -37,6 +37,7 @@ type live = {
   mutable misses : int;       (* includes stale lookups *)
   mutable stale : int;        (* entries dropped because the model changed *)
   mutable evictions : int;    (* entries dropped by the capacity bound *)
+  mutable verify_rejects : int;  (* plans refused admission by the verifier *)
 }
 
 (* what callers see: an immutable snapshot taken in one critical section,
@@ -48,10 +49,12 @@ type counters = {
   stale : int;
   evictions : int;
   entries : int;  (* table size at snapshot time *)
+  verify_rejects : int;
 }
 
 type t = {
   capacity : int;
+  verify : Registry.t -> Plan.t -> bool;
   table : entry Tbl.t;
   (* insertion order; each element is one stamped occurrence of a key *)
   order : ((Disco_costlang.Ast.cost_var * Plan.t) * int) Queue.t;
@@ -65,11 +68,12 @@ type t = {
   lock : Mutex.t;
 }
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?(verify = fun _ _ -> true) () =
   { capacity = max capacity 1;
+    verify;
     table = Tbl.create 256;
     order = Queue.create ();
-    counters = { hits = 0; misses = 0; stale = 0; evictions = 0 };
+    counters = { hits = 0; misses = 0; stale = 0; evictions = 0; verify_rejects = 0 };
     tick = 0;
     lock = Mutex.create () }
 
@@ -79,7 +83,8 @@ let counters t =
         misses = t.counters.misses;
         stale = t.counters.stale;
         evictions = t.counters.evictions;
-        entries = Tbl.length t.table })
+        entries = Tbl.length t.table;
+        verify_rejects = t.counters.verify_rejects })
 
 let size t = Mutex.protect t.lock (fun () -> Tbl.length t.table)
 
@@ -90,7 +95,8 @@ let clear t =
       t.counters.hits <- 0;
       t.counters.misses <- 0;
       t.counters.stale <- 0;
-      t.counters.evictions <- 0)
+      t.counters.evictions <- 0;
+      t.counters.verify_rejects <- 0)
 
 let find t registry ~objective plan =
   let key = (objective, plan) in
@@ -110,6 +116,13 @@ let find t registry ~objective plan =
 
 let add t registry ~objective plan cost =
   let key = (objective, plan) in
+  (* verification walks the plan: run it outside the critical section (the
+     lock only covers O(1) bookkeeping). Both branches below are guarded —
+     a refresh-in-place is a re-admission and re-verifies like any other. *)
+  if not (t.verify registry plan) then
+    Mutex.protect t.lock (fun () ->
+        t.counters.verify_rejects <- t.counters.verify_rejects + 1)
+  else
   Mutex.protect t.lock (fun () ->
       match Tbl.find_opt t.table key with
       | Some e ->
@@ -137,5 +150,6 @@ let add t registry ~objective plan cost =
 
 let pp_counters ppf t =
   let c = counters t in
-  Fmt.pf ppf "hits %d, misses %d (stale %d), evictions %d, entries %d" c.hits
-    c.misses c.stale c.evictions c.entries
+  Fmt.pf ppf
+    "hits %d, misses %d (stale %d), evictions %d, entries %d, verify rejects %d"
+    c.hits c.misses c.stale c.evictions c.entries c.verify_rejects

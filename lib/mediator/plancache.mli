@@ -7,7 +7,15 @@
     under a newer generation drops the entry instead of serving it, so model
     writes — rule registration, [let] updates, calibration adjustment,
     historical-tuning feedback (paper §4.3) — can never be shadowed by an
-    old cached cost. Eviction is FIFO under a fixed capacity. *)
+    old cached cost. Eviction is FIFO under a fixed capacity.
+
+    Admission can be guarded by a verifier ({!create}'s [verify]): a plan
+    failing verification is never admitted (counted in [verify_rejects]).
+    Because every stored entry passed verification at its stamped
+    generation and lookups drop entries from any other generation, a
+    served cost is always one verified against a registry state the
+    current generation still matches — re-verifying on lookup would be
+    redundant. *)
 
 open Disco_algebra
 open Disco_core
@@ -24,10 +32,13 @@ type counters = {
   stale : int;      (** entries dropped because the model changed *)
   evictions : int;  (** entries dropped by the capacity bound *)
   entries : int;    (** table size at snapshot time *)
+  verify_rejects : int;  (** plans refused admission by the verifier *)
 }
 
-val create : ?capacity:int -> unit -> t
-(** An empty cache holding at most [capacity] (default 4096) entries. *)
+val create : ?capacity:int -> ?verify:(Registry.t -> Plan.t -> bool) -> unit -> t
+(** An empty cache holding at most [capacity] (default 4096) entries.
+    [verify] (default: accept) gates admission in {!add}: it runs outside
+    the cache lock (it may walk the whole plan) and must be pure. *)
 
 val find : t -> Registry.t -> objective:Disco_costlang.Ast.cost_var -> Plan.t -> float option
 (** The cached cost of [plan] under [objective], if present and computed

@@ -140,6 +140,29 @@ let rejected_response ~id ~reason : Json.t =
       ("status", Json.String "rejected");
       ("reason", Json.String reason) ]
 
+let json_of_plan_finding (f : Disco_analysis.Plancheck.finding) : Json.t =
+  Json.Obj
+    [ ("severity",
+       Json.String
+         (match f.Disco_analysis.Plancheck.severity with
+          | Disco_analysis.Plancheck.Error -> "error"
+          | Disco_analysis.Plancheck.Warning -> "warning"
+          | Disco_analysis.Plancheck.Info -> "info"));
+      ("tag", Json.String f.Disco_analysis.Plancheck.tag);
+      ("source",
+       match f.Disco_analysis.Plancheck.source with
+       | Some s -> Json.String s
+       | None -> Json.Null);
+      ("path", Json.String f.Disco_analysis.Plancheck.path);
+      ("msg", Json.String f.Disco_analysis.Plancheck.msg) ]
+
+let invalid_plan_response ~id findings : Json.t =
+  Json.Obj
+    [ ("id", id);
+      ("status", Json.String "rejected");
+      ("reason", Json.String "invalid_plan");
+      ("findings", Json.List (List.map json_of_plan_finding findings)) ]
+
 let error_response ~id msg : Json.t =
   Json.Obj
     [ ("id", id); ("status", Json.String "error"); ("error", Json.String msg) ]

@@ -46,6 +46,12 @@ val degraded_response : id:Json.t -> report:Mediator.report -> wall_ms:float -> 
 val rejected_response : id:Json.t -> reason:string -> Json.t
 (** [reason] is ["queue_full"] (backpressure) or ["deadline"]. *)
 
+val invalid_plan_response :
+  id:Json.t -> Disco_analysis.Plancheck.finding list -> Json.t
+(** The typed rejection for plans failing whole-plan verification:
+    [{"status":"rejected","reason":"invalid_plan","findings":[...]}], each
+    finding with its severity, tag, source and operator path. *)
+
 val error_response : id:Json.t -> string -> Json.t
 
 val json_of_health : now:float -> Health.row list -> Json.t

@@ -38,6 +38,9 @@ type config = {
   default_deadline_ms : float option;
   snapshot_path : string option;
   snapshot_every : int;
+  verify : bool;
+      (* whole-plan verification at query admission: an invalid chosen plan
+         is rejected with a typed protocol error instead of executed *)
 }
 
 let default_config addr =
@@ -46,7 +49,8 @@ let default_config addr =
     workers = 2;
     default_deadline_ms = None;
     snapshot_path = None;
-    snapshot_every = 32 }
+    snapshot_every = 32;
+    verify = true }
 
 (* A connection is shared between its reader thread and any queued jobs
    still carrying replies to it; the fd closes when the last reference
@@ -86,6 +90,7 @@ type t = {
   mutable conns : conn list;  (* open connections, for shutdown *)
   conns_lock : Mutex.t;
   mutable executed : int;  (* queries finished, drives periodic snapshots *)
+  mutable invalid_plans : int;  (* queries rejected by plan verification *)
 }
 
 (* --- connections ------------------------------------------------------- *)
@@ -216,7 +221,12 @@ let metrics_json t : Json.t =
             ("misses", Json.Int pc.Plancache.misses);
             ("stale", Json.Int pc.Plancache.stale);
             ("evictions", Json.Int pc.Plancache.evictions);
-            ("entries", Json.Int pc.Plancache.entries) ] );
+            ("entries", Json.Int pc.Plancache.entries);
+            ("verify_rejects", Json.Int pc.Plancache.verify_rejects) ] );
+      ( "verify",
+        Json.Obj
+          [ ("enabled", Json.Bool t.config.verify);
+            ("invalid_plans", Json.Int t.invalid_plans) ] );
       ( "stats",
         Json.Obj
           [ ( "feedback",
@@ -248,7 +258,10 @@ let execute t (job : job) =
     let response =
       Mutex.protect t.exec_lock (fun () ->
           Mediator.set_history t.med history;
-          match Mediator.run_query ~objective:job.objective t.med job.sql with
+          match
+            Mediator.run_query ~objective:job.objective
+              ~verify:t.config.verify t.med job.sql
+          with
           | answer ->
             let wall_ms = (Unix.gettimeofday () -. job.received_at) *. 1000. in
             Metrics.on_completed t.metrics ~latency_ms:wall_ms;
@@ -270,6 +283,14 @@ let execute t (job : job) =
             Metrics.on_degraded t.metrics ~latency_ms:wall_ms;
             t.executed <- t.executed + 1;
             Protocol.degraded_response ~id:job.id ~report ~wall_ms
+          | exception Mediator.Invalid_plan findings ->
+            let wall_ms = (Unix.gettimeofday () -. job.received_at) *. 1000. in
+            Metrics.on_failed t.metrics ~latency_ms:wall_ms;
+            t.invalid_plans <- t.invalid_plans + 1;
+            Log.warn (fun m ->
+                m "query %s rejected: invalid plan (%d findings)"
+                  (Json.to_string job.id) (List.length findings));
+            Protocol.invalid_plan_response ~id:job.id findings
           | exception e ->
             let wall_ms = (Unix.gettimeofday () -. job.received_at) *. 1000. in
             Metrics.on_failed t.metrics ~latency_ms:wall_ms;
@@ -448,7 +469,8 @@ let create ?(config = default_config (Unix_socket "/tmp/disco.sock")) med =
     worker_threads = [];
     conns = [];
     conns_lock = Mutex.create ();
-    executed = 0 }
+    executed = 0;
+    invalid_plans = 0 }
 
 let start t =
   if t.running then invalid_arg "Server.start: already running";

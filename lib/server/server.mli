@@ -25,10 +25,15 @@ type config = {
   snapshot_every : int;
       (** executed queries between periodic snapshots; [0] disables the
           period (explicit [{"op":"snapshot"}] and shutdown still save) *)
+  verify : bool;
+      (** whole-plan verification at query admission
+          ({!Mediator.run_query}'s [verify]): an invalid chosen plan is
+          rejected with the typed [invalid_plan] protocol error instead of
+          executed *)
 }
 
 val default_config : addr -> config
-(** queue 64, 2 workers, no deadline, no snapshotting. *)
+(** queue 64, 2 workers, no deadline, no snapshotting, verification on. *)
 
 type t
 

@@ -38,7 +38,8 @@ let with_server ?history ?(queue_depth = 64) ?(workers = 2) ?default_deadline_ms
       workers;
       default_deadline_ms;
       snapshot_path;
-      snapshot_every }
+      snapshot_every;
+      verify = true }
   in
   let srv = Server.create ~config med in
   Server.start srv;
