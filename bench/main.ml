@@ -32,11 +32,15 @@
               client/server accounting and a warm-restart check
               (--json=PATH as above)
      verify — whole-plan verification overhead on the warm plan-cache
-              query path, gated at 5% (--json=PATH as above) *)
+              query path, gated at 5% (--json=PATH as above)
+     joins  — scalable join enumeration: DPccp vs subset-DP vs greedy over
+              chain/star/clique/random graphs at 5..50 sources, with
+              bit-identity checks and the enumeration-work and 50-source
+              latency gates (--json=PATH as above) *)
 
 let all =
   [ "fig12"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "cache"; "micro";
-    "formula"; "faults"; "parallel"; "batch"; "serve"; "verify" ]
+    "formula"; "faults"; "parallel"; "batch"; "serve"; "verify"; "joins" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -80,6 +84,7 @@ let () =
       | "batch" -> Batch_bench.print ~smoke:small ?json_path ()
       | "serve" -> Serve_bench.print ~smoke:small ?json_path ()
       | "verify" -> Verify_bench.print ~smoke:small ?json_path ()
+      | "joins" -> Joins.print ~smoke:small ?json_path ()
       | other ->
         Fmt.epr "unknown experiment %S (known: %s)@." other (String.concat ", " all);
         exit 1)

@@ -45,6 +45,27 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let enum_arg =
+  let modes =
+    [ ("dp", Optimizer.Dp); ("dpccp", Optimizer.Dpccp);
+      ("greedy", Optimizer.Greedy); ("auto", Optimizer.Auto) ]
+  in
+  let doc =
+    "Join-enumeration engine: $(b,dp) (subset DP), $(b,dpccp) \
+     (connected-subgraph DP; bit-identical plans at a fraction of the \
+     enumeration work), $(b,greedy) (GOO + bounded improvement, for wide \
+     federations), or $(b,auto) (dpccp up to the threshold, greedy above). \
+     Defaults to $(b,DISCO_ENUM), else auto."
+  in
+  Arg.(value & opt (some (enum modes)) None & info [ "enum" ] ~docv:"MODE" ~doc)
+
+let enum_threshold_arg =
+  let doc =
+    "Relation count where $(b,--enum auto) hands exact DPccp enumeration \
+     over to the greedy engine (default 12)."
+  in
+  Arg.(value & opt (some int) None & info [ "enum-threshold" ] ~docv:"N" ~doc)
+
 let stats_arg =
   let doc =
     "Enable feedback-driven statistics: harvest wrapper samples into \
@@ -117,8 +138,8 @@ let objective_of = function
   | "first" -> Optimizer.First_tuple
   | other -> Fmt.failwith "unknown objective %S (total|first)" other
 
-let make_mediator ?(no_cache = false) ?(stats = false) ?fault ?domains ~small
-    ~seed ~history ~no_rules () =
+let make_mediator ?(no_cache = false) ?(stats = false) ?fault ?domains ?enum
+    ?enum_threshold ~small ~seed ~history ~no_rules () =
   let sizes = if small then Demo.small_sizes else Demo.default_sizes in
   let wrappers = Demo.make ~seed ~sizes () in
   let wrappers =
@@ -130,7 +151,7 @@ let make_mediator ?(no_cache = false) ?(stats = false) ?fault ?domains ~small
   in
   let med =
     Mediator.create ~history_mode:(history_mode history) ~cache:(not no_cache)
-      ?domains ~stats_mode ()
+      ?domains ~stats_mode ?enum_mode:enum ?enum_threshold ()
   in
   List.iter (Mediator.register med) wrappers;
   (match fault with
@@ -157,13 +178,13 @@ let query_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache stats fault domains objective
-      engine batch_size sql =
+  let run small seed history no_rules no_cache stats fault domains enum
+      enum_threshold objective engine batch_size sql =
     handle (fun () ->
         set_engine engine batch_size;
         let med, _ =
-          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
-            ~no_rules ()
+          make_mediator ~no_cache ~stats ?fault ?domains ?enum ?enum_threshold
+            ~small ~seed ~history ~no_rules ()
         in
         let a = Mediator.run_query ~objective:(objective_of objective) med sql in
         List.iter (fun row -> Fmt.pr "%a@." Tuple.pp_with_names row) a.Mediator.rows;
@@ -185,8 +206,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a query against the demo federation.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ objective_arg $ engine_arg
-      $ batch_size_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ enum_arg $ enum_threshold_arg
+      $ objective_arg $ engine_arg $ batch_size_arg $ sql)
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -194,13 +215,13 @@ let explain_cmd =
   let sql =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
   in
-  let run small seed history no_rules no_cache stats fault domains engine
-      batch_size sql =
+  let run small seed history no_rules no_cache stats fault domains enum
+      enum_threshold engine batch_size sql =
     handle (fun () ->
         set_engine engine batch_size;
         let med, _ =
-          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
-            ~no_rules ()
+          make_mediator ~no_cache ~stats ?fault ?domains ?enum ?enum_threshold
+            ~small ~seed ~history ~no_rules ()
         in
         print_string (Mediator.explain med sql))
   in
@@ -211,7 +232,8 @@ let explain_cmd =
           the rule that produced each one.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg $ sql)
+      $ stats_arg $ fault_arg $ domains_arg $ enum_arg $ enum_threshold_arg
+      $ engine_arg $ batch_size_arg $ sql)
 
 (* --- analyze ------------------------------------------------------------------- *)
 
@@ -602,14 +624,14 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "no-verify" ] ~doc)
   in
-  let run small seed history no_rules no_cache stats fault domains engine
-      batch_size socket host port queue workers deadline snapshot snapshot_every
-      no_verify =
+  let run small seed history no_rules no_cache stats fault domains enum
+      enum_threshold engine batch_size socket host port queue workers deadline
+      snapshot snapshot_every no_verify =
     handle (fun () ->
         set_engine engine batch_size;
         let med, _ =
-          make_mediator ~no_cache ~stats ?fault ?domains ~small ~seed ~history
-            ~no_rules ()
+          make_mediator ~no_cache ~stats ?fault ?domains ?enum ?enum_threshold
+            ~small ~seed ~history ~no_rules ()
         in
         let config =
           { Server.addr = addr_of socket host port;
@@ -638,9 +660,10 @@ let serve_cmd =
           /health and /metrics endpoints, and snapshot-based warm restarts.")
     Term.(
       const run $ small_arg $ seed_arg $ history_arg $ no_rules_arg $ no_cache_arg
-      $ stats_arg $ fault_arg $ domains_arg $ engine_arg $ batch_size_arg
-      $ socket_arg $ host_arg $ port_arg $ queue_arg $ workers_arg $ deadline_arg
-      $ snapshot_arg $ snapshot_every_arg $ no_verify_arg)
+      $ stats_arg $ fault_arg $ domains_arg $ enum_arg $ enum_threshold_arg
+      $ engine_arg $ batch_size_arg $ socket_arg $ host_arg $ port_arg
+      $ queue_arg $ workers_arg $ deadline_arg $ snapshot_arg
+      $ snapshot_every_arg $ no_verify_arg)
 
 let metrics_cmd =
   let json_flag =
@@ -686,6 +709,13 @@ let metrics_cmd =
             (iget "evictions" pc) (iget "entries" pc);
           Fmt.pr "stats     generation %d  history records %d  tenants %d@."
             (iget "generation" st) (iget "history_records" st) (iget "tenants" st);
+          let opt = Option.value ~default:Json.Null (Json.member "optimizer" m) in
+          Fmt.pr "optimizer %s (threshold %d)  plans %d  aborted %d  csg-cmp \
+                  pairs %d  dp entries %d@."
+            (Option.value ~default:"?" (Json.string_member "enum_mode" opt))
+            (iget "enum_threshold" opt) (iget "plans_considered" opt)
+            (iget "plans_aborted" opt) (iget "csg_cmp_pairs" opt)
+            (iget "dp_entries" opt);
           (match Json.member "sources" h with
            | Some (Json.List sources) ->
              Fmt.pr "health    clock %.0f ms@." (fget "clock_ms" h);

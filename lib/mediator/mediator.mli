@@ -30,7 +30,7 @@ val create :
   ?backend:Registry.backend -> ?calibration:Generic.calibration ->
   ?history_mode:History.mode -> ?cache:bool -> ?policy:Health.policy ->
   ?lint:[ `Error | `Warn | `Off ] -> ?domains:int -> ?stats_mode:stats_mode ->
-  unit -> t
+  ?enum_mode:Optimizer.enum_mode -> ?enum_threshold:int -> unit -> t
 (** A fresh mediator with its generic cost model installed. [backend]
     selects the formula backend (bytecode by default; [Registry.Closure] is
     the differential reference). [cache] (default on) enables the
@@ -54,6 +54,19 @@ val domains : t -> int
 (** The domain-pool degree this mediator optimizes and executes with. *)
 
 val stats_mode : t -> stats_mode
+
+val enum_mode : t -> Optimizer.enum_mode
+(** The join-enumeration engine queries optimize with (the CLI's [--enum];
+    default from [DISCO_ENUM], else [Auto]). *)
+
+val enum_threshold : t -> int
+(** The relation count where [Auto] hands exact DPccp over to greedy. *)
+
+val optimizer_stats : t -> Optimizer.stats
+(** A copy of the cumulative optimizer counters over every optimization this
+    mediator ran (plans considered/aborted, formula evaluations, csg–cmp
+    pairs, DP entries) — the plan-search cost the server's /metrics
+    reports. *)
 
 val refresh_histograms : t -> source:string -> unit
 (** Re-sample a registered source and rebuild its histograms; a no-op when

@@ -200,6 +200,7 @@ let metrics_json t : Json.t =
   let m = Metrics.snapshot t.metrics in
   let a = Admission.counters t.queue in
   let pc = Plancache.counters (Mediator.plancache t.med) in
+  let os = Mediator.optimizer_stats t.med in
   let tenants = tenant_list t in
   let history_records =
     List.fold_left (fun acc (_, h) -> acc + List.length (History.records h)) 0 tenants
@@ -236,7 +237,19 @@ let metrics_json t : Json.t =
                  | Mediator.Stats_feedback _ -> true) );
             ("generation", Json.Int (Registry.generation (Mediator.registry t.med)));
             ("history_records", Json.Int history_records);
-            ("tenants", Json.Int (List.length tenants)) ] ) ]
+            ("tenants", Json.Int (List.length tenants)) ] );
+      (* cumulative plan-search cost (DESIGN.md §15): which enumeration
+         engine runs and how much work it does per query shape *)
+      ( "optimizer",
+        Json.Obj
+          [ ( "enum_mode",
+              Json.String
+                (Optimizer.enum_mode_to_string (Mediator.enum_mode t.med)) );
+            ("enum_threshold", Json.Int (Mediator.enum_threshold t.med));
+            ("plans_considered", Json.Int os.Optimizer.plans_considered);
+            ("plans_aborted", Json.Int os.Optimizer.plans_aborted);
+            ("csg_cmp_pairs", Json.Int os.Optimizer.csg_cmp_pairs);
+            ("dp_entries", Json.Int os.Optimizer.dp_entries) ] ) ]
 
 let health_json t : Json.t =
   Protocol.json_of_health ~now:(Mediator.now t.med)

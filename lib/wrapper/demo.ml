@@ -332,3 +332,105 @@ let make ?(seed = 42) ?(sizes = default_sizes) () : Wrapper.t list =
       ~departments:sizes.departments;
     make_files ~rng ~documents:sizes.documents ~projects:sizes.projects;
     make_web ~rng ~listings:sizes.listings ~employees:sizes.employees ]
+
+(* --- Synthetic wide federations (join-enumeration workloads) ----------------- *)
+
+type shape = Chain | Star | Clique | Random_edges of int
+
+let shape_to_string = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Clique -> "clique"
+  | Random_edges k -> Fmt.str "random%d" k
+
+let synthetic_schema i =
+  Schema.collection (Fmt.str "Rel%d" i)
+    [ ("id", Schema.Tint);
+      ("fk", Schema.Tint);
+      ("grp", Schema.Tint);
+      ("v", Schema.Tint) ]
+
+(* The join graph as an edge list over source indices. [`Fk (a, b)] is a
+   foreign-key edge (relation [b]'s [fk] references [a]'s [id]); [`Grp]
+   edges are equi-joins on the shared low-cardinality [grp] attribute —
+   used where a relation would otherwise need several foreign keys (clique
+   and random extra edges). Deterministic in (shape, n, seed) so the
+   federation and the query text always agree on the graph. *)
+let synthetic_edges ~shape ~n ~seed =
+  match shape with
+  | Chain -> List.init (n - 1) (fun i -> (i, i + 1, `Fk))
+  | Star -> List.init (n - 1) (fun i -> (0, i + 1, `Fk))
+  | Clique ->
+    let backbone = List.init (n - 1) (fun i -> (i, i + 1, `Fk)) in
+    let extra = ref [] in
+    for b = n - 1 downto 0 do
+      for a = b - 2 downto 0 do extra := (a, b, `Grp) :: !extra done
+    done;
+    backbone @ !extra
+  | Random_edges k ->
+    let rng = Rng.create ~seed:(seed + 7919) in
+    let tree = List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1, `Fk)) in
+    let seen = Hashtbl.create 16 in
+    List.iter (fun (a, b, _) -> Hashtbl.replace seen (a, b) ()) tree;
+    let extra = ref [] and added = ref 0 and attempts = ref 0 in
+    while !added < k && !attempts < (10 * k) + 100 do
+      incr attempts;
+      let a = Rng.int rng n and b = Rng.int rng n in
+      let a, b = (min a b, max a b) in
+      if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.replace seen (a, b) ();
+        extra := (a, b, `Grp) :: !extra;
+        incr added
+      end
+    done;
+    tree @ List.rev !extra
+
+let synthetic ?(seed = 42) ?(rows = 200) ~n () : Wrapper.t list =
+  let rng = Rng.create ~seed in
+  List.init n (fun i ->
+      let row_list =
+        List.init rows (fun r ->
+            [| Constant.Int (r + 1);
+               Constant.Int (1 + Rng.int rng rows);
+               Constant.Int (Rng.int rng 32);
+               Constant.Int (Rng.int rng 1000) |])
+      in
+      let table =
+        Table.create ~name:(Fmt.str "Rel%d" i) ~schema:(synthetic_schema i)
+          ~object_size:32
+          ~index_on:[ "id"; "fk" ]
+          row_list
+      in
+      let engine =
+        match i mod 3 with
+        | 0 -> Costs.relational
+        | 1 -> Costs.objectstore
+        | _ -> Costs.flat_file
+      in
+      let network = if i mod 5 = 4 then Costs.wan else Costs.lan in
+      (* every third source is scan-only: no pushed selections or joins,
+         so placement has to route around it (paper §2.1 capabilities) *)
+      let rules_text = if i mod 3 = 2 then Some "capabilities scan;" else None in
+      Wrapper.create ~name:(Fmt.str "s%d" i) ~engine ~network ?rules_text
+        [ table ])
+
+let synthetic_sql ?(seed = 42) ~shape ~n () =
+  let edges = synthetic_edges ~shape ~n ~seed in
+  let froms =
+    String.concat ", " (List.init n (fun i -> Fmt.str "Rel%d r%d" i i))
+  in
+  let joins =
+    List.map
+      (fun (a, b, kind) ->
+        match kind with
+        | `Fk -> Fmt.str "r%d.fk = r%d.id" b a
+        | `Grp -> Fmt.str "r%d.grp = r%d.grp" a b)
+      edges
+  in
+  let selects =
+    List.filter_map
+      (fun i -> if i mod 4 = 2 then Some (Fmt.str "r%d.v > 500" i) else None)
+      (List.init n Fun.id)
+  in
+  Fmt.str "select r0.id from %s where %s" froms
+    (String.concat " and " (joins @ selects))
